@@ -1,0 +1,54 @@
+"""F1/F2 — the paper's two figures, reproduced as executable checks.
+
+Figure 1 illustrates the shift operator: ``[2,6> >> [7,13> = [8,12>``.
+Figure 2 illustrates the second requirement of the splittability
+condition (Definition 5.11): when the same chunk is selected by the
+splitter from two context documents, the spanner must treat the
+corresponding shifted tuples identically.
+"""
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.spans import Span, SpanTuple
+from repro.core.splittability import canonical_split_spanner
+from repro.spanners.regex_formulas import compile_regex_formula
+
+
+@pytest.mark.benchmark(group="figures")
+def test_f1_shift_operator(benchmark):
+    result = benchmark.pedantic(
+        lambda: Span(2, 6) >> Span(7, 13), rounds=1, iterations=1
+    )
+    report("F1", "[2,6> >> [7,13> = [8,12>", f"{result!r}")
+    assert result == Span(8, 12)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_f2_splittability_condition(benchmark):
+    """Example 5.13's instance realizes Figure 2's scenario.
+
+    Chunk ``bb`` is selected from both ``abb`` and ``cbb``; the
+    spanner accepts the shifted tuple in one context but not the other
+    — so the splittability condition fails and the canonical
+    split-spanner overproduces.
+    """
+    alphabet = frozenset("abc")
+    p = compile_regex_formula("(ab)y{b}|(c)y{b}b", alphabet)
+    s = compile_regex_formula("x{.*}|.*x{bb}.*", alphabet)
+
+    def run():
+        t = SpanTuple({"y": Span(2, 3)})  # within the chunk "bb"
+        s1, s2 = Span(2, 4), Span(2, 4)   # the chunk inside abb / cbb
+        t1, t2 = t.shift(s1), t.shift(s2)  # both become y -> [3,4>
+        in_first = t1 in p.evaluate("abb")
+        in_second = t2 in p.evaluate("cbb")
+        return in_first, in_second
+
+    in_first, in_second = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("F2", "condition (2) violated: t1 in P(d1), t2 not in P(d2)",
+           f"t1 in P(abb): {in_first}, t2 in P(cbb): {in_second}")
+    assert in_first != in_second
+    # Consequence: the canonical split-spanner pools both contexts.
+    canonical = canonical_split_spanner(p, s)
+    assert len(canonical.evaluate("bb")) == 2

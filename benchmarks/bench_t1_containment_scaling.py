@@ -1,0 +1,77 @@
+"""T1 — the containment complexity landscape (Theorems 4.1-4.3).
+
+The paper proves spanner containment PSPACE-complete in general
+(Thm 4.1), PSPACE-hard already for weakly deterministic functional
+VSet-automata (Thm 4.2 — refuting the coNP claim of Maturana et al.),
+and NL (here: polynomial product reachability) for dfVSA (Thm 4.3).
+
+The benchmark regenerates the landscape empirically: runtime of the
+general procedure on the Theorem 4.2 hardness family grows steeply
+with the number of variables (the subset construction pays for the
+variable-order nondeterminism), while dfVSA containment on
+determinized instances of fixed variable count scales smoothly with
+state count.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.automata.dfa import random_dfa
+from repro.reductions import weak_determinism_containment_instance
+from repro.spanners.containment import spanner_contains
+from repro.spanners.determinism import determinize, dfvsa_contains
+from repro.spanners.regex_formulas import compile_regex_formula
+
+SIGMA = ["b", "c"]
+
+
+@pytest.mark.benchmark(group="t1-containment")
+def test_t1_weakly_deterministic_growth(benchmark):
+    """General containment runtime on the Thm 4.2 family by #variables."""
+
+    def sweep():
+        rows = []
+        for n_vars in (1, 2, 3):
+            dfas = [random_dfa(SIGMA, 3, seed=5 + k) for k in range(n_vars)]
+            a, a_prime = weak_determinism_containment_instance(dfas, SIGMA)
+            start = time.perf_counter()
+            spanner_contains(a, a_prime)
+            rows.append((n_vars, time.perf_counter() - start))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = ", ".join(f"n={n}: {t*1e3:.0f}ms" for n, t in rows)
+    report("T1a", "weakly-det. containment PSPACE-hard (blow-up in n)",
+           text)
+    # The last instance must be strictly costlier than the first.
+    assert rows[-1][1] > rows[0][1]
+
+
+@pytest.mark.benchmark(group="t1-containment")
+def test_t1_dfvsa_polynomial(benchmark):
+    """dfVSA containment stays cheap as the pattern grows (Thm 4.3)."""
+
+    def sweep():
+        rows = []
+        for size in (2, 4, 8, 16):
+            pattern = "b" * size
+            left = determinize(
+                compile_regex_formula(f".*x{{{pattern}}}.*", SIGMA)
+            )
+            right = determinize(
+                compile_regex_formula(".*x{b(b|c)*}.*|.*x{b}.*", SIGMA)
+            )
+            start = time.perf_counter()
+            dfvsa_contains(left, right, check=False)
+            rows.append((size, time.perf_counter() - start))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = ", ".join(f"|P|={s}: {t*1e3:.1f}ms" for s, t in rows)
+    report("T1b", "dfVSA containment in NL (smooth polynomial scaling)",
+           text)
+    # Polynomial, not exponential: 8x the pattern costs far less than
+    # a PSPACE blow-up would.
+    assert rows[-1][1] < 200 * max(rows[0][1], 1e-4)

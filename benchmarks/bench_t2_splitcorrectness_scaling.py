@@ -1,0 +1,74 @@
+"""T2 — the split-correctness complexity landscape (Thms 5.1 / 5.7).
+
+PSPACE-complete in general (the Theorem 5.1 reduction family from DFA
+union universality), polynomial for dfVSA with disjoint splitters
+(Theorem 5.7).  The benchmark times both procedures on their natural
+instance families and regenerates the tractability frontier: the
+general procedure's cost grows with the number of union branches,
+while the dfVSA discrepancy search scales smoothly in extractor size.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.automata.dfa import random_dfa
+from repro.reductions import split_correctness_instance
+from repro.core.split_correctness import (
+    split_correct_dfvsa,
+    split_correct_general,
+)
+from repro.spanners.determinism import determinize
+from repro.spanners.regex_formulas import compile_regex_formula
+from repro.splitters.builders import token_splitter
+
+SIGMA = ["b", "c"]
+TXT = frozenset("ab ")
+
+
+@pytest.mark.benchmark(group="t2-split-correctness")
+def test_t2_general_growth(benchmark):
+    def sweep():
+        rows = []
+        for branches in (1, 2, 3):
+            dfas = [random_dfa(SIGMA, 3, seed=17 + k)
+                    for k in range(branches)]
+            p, p_s, s = split_correctness_instance(dfas, SIGMA)
+            start = time.perf_counter()
+            split_correct_general(p, p_s, s)
+            rows.append((branches, time.perf_counter() - start))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = ", ".join(f"n={n}: {t*1e3:.0f}ms" for n, t in rows)
+    report("T2a", "split-correctness PSPACE-complete (Thm 5.1 family)",
+           text)
+    assert rows[-1][1] > 0
+
+
+@pytest.mark.benchmark(group="t2-split-correctness")
+def test_t2_dfvsa_polynomial(benchmark):
+    tokens = determinize(token_splitter(TXT))
+
+    def extractor(run_length: int):
+        runs = "a" * run_length
+        return determinize(compile_regex_formula(
+            f".*( )y{{{runs}}}( ).*|y{{{runs}}}( ).*"
+            f"|.*( )y{{{runs}}}|y{{{runs}}}",
+            TXT,
+        ))
+
+    def sweep():
+        rows = []
+        for size in (1, 2, 4, 8):
+            p = extractor(size)
+            start = time.perf_counter()
+            split_correct_dfvsa(p, p, tokens, check=False)
+            rows.append((size, time.perf_counter() - start))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = ", ".join(f"|P|={s}: {t*1e3:.1f}ms" for s, t in rows)
+    report("T2b", "PTIME for dfVSA + disjoint splitter (Thm 5.7)", text)
+    assert rows[-1][1] < 500 * max(rows[0][1], 1e-4)

@@ -1,0 +1,64 @@
+"""T3 — splittability for disjoint splitters (Theorem 5.15).
+
+Times the full pipeline (cover condition, canonical split-spanner
+construction of Proposition 5.9, and the equivalence test of Lemma
+5.12) on the Theorem 5.15 reduction family and on a realistic
+extractor/tokenizer pair; verifies the known answers.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.splittability import canonical_split_spanner, is_splittable
+from repro.reductions import splittability_instance
+from repro.spanners.regex_formulas import compile_regex_formula
+from repro.splitters.builders import record_splitter
+
+SIGMA = ["b", "c"]
+
+
+@pytest.mark.benchmark(group="t3-splittability")
+def test_t3_reduction_family(benchmark):
+    cases = [
+        ("b*", "(b|c)*", True),
+        ("(b|c)*", "b*", False),
+        ("(bb)*", "b*", True),
+        ("b*c", "b*(b|c)", True),
+    ]
+
+    def sweep():
+        rows = []
+        for r1, r2, expected in cases:
+            p, s = splittability_instance(r1, r2, SIGMA)
+            start = time.perf_counter()
+            answer = is_splittable(p, s)
+            rows.append((r1, r2, answer, expected,
+                         time.perf_counter() - start))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    for r1, r2, answer, expected, _elapsed in rows:
+        assert answer == expected, (r1, r2)
+    text = ", ".join(f"({r1}<={r2}): {t*1e3:.0f}ms"
+                     for r1, r2, _a, _e, t in rows)
+    report("T3", "splittability PSPACE-complete for disjoint splitters",
+           text)
+
+
+@pytest.mark.benchmark(group="t3-splittability")
+def test_t3_realistic_pipeline(benchmark):
+    alphabet = frozenset("Gl#")
+    p = compile_regex_formula("(.*\\#)?y{G}(l*)((\\#).*)?", alphabet)
+    records = record_splitter(alphabet, "#")
+
+    def run():
+        answer = is_splittable(p, records)
+        canonical = canonical_split_spanner(p, records)
+        return answer, canonical.state_count()
+
+    answer, states = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("T3 (HTTP)", "request-line extractor splittable by records",
+           f"splittable={answer}, canonical split-spanner states={states}")
+    assert answer

@@ -1,0 +1,60 @@
+"""T4 — weak determinism does not help (Theorem 4.2).
+
+The paper's Theorem 4.2 shows containment of *weakly deterministic*
+functional VSet-automata is PSPACE-hard, contradicting the coNP upper
+bound claimed by Maturana et al. [25]; the error is a pumping argument
+that assumes polynomial-size non-containment witnesses.
+
+The benchmark measures, on the reduction family, how the shortest
+non-containment witness (extracted from the decision procedure) grows
+with instance size — the quantity whose boundedness [25] assumed.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.automata.containment import containment_counterexample
+from repro.automata.dfa import random_dfa
+from repro.reductions import (
+    union_universality_instance,
+    weak_determinism_containment_instance,
+)
+
+SIGMA = ["b", "c"]
+
+
+def _non_universal_family(n_dfas: int, states: int, base_seed: int):
+    """DFAs whose union misses some word (so a witness exists)."""
+    seed = base_seed
+    while True:
+        dfas = [random_dfa(SIGMA, states, seed + k) for k in range(n_dfas)]
+        if not union_universality_instance(dfas, SIGMA):
+            return dfas
+        seed += 100
+
+
+@pytest.mark.benchmark(group="t4-weak-determinism")
+def test_t4_witness_growth(benchmark):
+    def sweep():
+        rows = []
+        for n_dfas, states in ((1, 2), (2, 3), (3, 4)):
+            dfas = _non_universal_family(n_dfas, states, 1000 * n_dfas)
+            a, a_prime = weak_determinism_containment_instance(dfas, SIGMA)
+            start = time.perf_counter()
+            witness = containment_counterexample(
+                a.extended_nfa(), a_prime.extended_nfa()
+            )
+            elapsed = time.perf_counter() - start
+            assert witness is not None
+            rows.append((n_dfas, states, len(witness), elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    text = ", ".join(
+        f"n={n},|A|={s}: witness={w} blocks in {t*1e3:.0f}ms"
+        for n, s, w, t in rows
+    )
+    report("T4", "witnesses can be exponential (refutes [25]'s coNP bound)",
+           text)

@@ -1,0 +1,69 @@
+"""T5 — reasoning about splitters (Section 6).
+
+Times commutativity (Theorem 6.2) and subsumption (Theorem 6.3) on the
+paper's page/paragraph scenario, and the Lemma 6.5 transfer inference
+the planner uses.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.reasoning import (
+    compose_splitters,
+    self_split_transfers,
+    splitters_commute,
+    subsumes,
+)
+from repro.spanners.regex_formulas import compile_regex_formula
+from repro.splitters.builders import separator_splitter, token_splitter
+
+DOC = frozenset("pq#\n")
+TXT = frozenset("ab \n")
+
+
+@pytest.mark.benchmark(group="t5-reasoning")
+def test_t5_commutativity(benchmark):
+    pages = separator_splitter(DOC, "#")
+    paragraphs = separator_splitter(DOC, "\n")
+
+    def run():
+        start = time.perf_counter()
+        answer = splitters_commute(pages, paragraphs)
+        return answer, time.perf_counter() - start
+
+    answer, elapsed = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("T5 commute", "pages/paragraphs commute (query-plan choice)",
+           f"{answer} in {elapsed*1e3:.0f}ms")
+    assert answer
+
+
+@pytest.mark.benchmark(group="t5-reasoning")
+def test_t5_subsumption(benchmark):
+    pages = separator_splitter(DOC, "#")
+
+    def run():
+        return subsumes(pages, pages)
+
+    answer = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("T5 subsume", "re-splitting chunks by the same splitter is a "
+                         "no-op", f"{answer}")
+    assert answer
+
+
+@pytest.mark.benchmark(group="t5-reasoning")
+def test_t5_transfer(benchmark):
+    extractor = compile_regex_formula(
+        ".*( |\n)y{a+}( |\n).*|y{a+}( |\n).*|.*( |\n)y{a+}|y{a+}", TXT
+    )
+    tokens = token_splitter(TXT)
+    lines = separator_splitter(TXT, "\n")
+
+    def run():
+        return self_split_transfers(extractor, tokens, lines)
+
+    answer = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("T5 transfer", "Lemma 6.5: token-splittable => line-splittable",
+           f"{answer}")
+    assert answer

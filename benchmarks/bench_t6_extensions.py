@@ -1,0 +1,97 @@
+"""T6 — Section 7 extensions: filters and annotated splitters.
+
+Times Theorem 7.6 (split-correctness with the minimal regular filter)
+and Theorems E.3/E.4 (annotated split-correctness, general vs the
+highlander fast path) on the HTTP GET/POST routing scenario.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.core.annotated import (
+    AnnotatedSplitter,
+    annotated_split_correct,
+    annotated_split_correct_highlander,
+)
+from repro.core.filters import self_splittable_with_filter
+from repro.spanners.algebra import restrict_to_language
+from repro.spanners.determinism import determinize
+from repro.spanners.regex_formulas import compile_regex_formula
+from repro.splitters.builders import sentence_splitter
+
+RC = frozenset("gp#ab")
+TXT = frozenset("ab .")
+
+
+def _annotated_scenario():
+    get_records = compile_regex_formula(
+        "(.*\\#)?x{g(g|p|a|b)*}((\\#).*)?", RC
+    )
+    post_records = compile_regex_formula(
+        "(.*\\#)?x{p(g|p|a|b)*}((\\#).*)?", RC
+    )
+    annotated = AnnotatedSplitter({"GET": get_records,
+                                   "POST": post_records})
+    spanner = compile_regex_formula(
+        "((.*\\#)?(g)(g|p|a|b)*y{a}(g|p|a|b)*((\\#).*)?)"
+        "|((.*\\#)?(p)(g|p|a|b)*y{b}(g|p|a|b)*((\\#).*)?)",
+        RC,
+    )
+    mapping = {
+        "GET": compile_regex_formula("(g)(g|p|a|b)*y{a}(g|p|a|b)*", RC),
+        "POST": compile_regex_formula("(p)(g|p|a|b)*y{b}(g|p|a|b)*", RC),
+    }
+    return annotated, spanner, mapping
+
+
+@pytest.mark.benchmark(group="t6-extensions")
+def test_t6_filters(benchmark):
+    from repro.automata.regex import regex_to_nfa
+
+    extractor = compile_regex_formula(
+        ".*(\\.| )y{aa}(\\.| ).*|y{aa}(\\.| ).*|.*(\\.| )y{aa}|y{aa}", TXT
+    )
+    well_formed = regex_to_nfa("(a|b| )*\\.", TXT)
+    checked = restrict_to_language(extractor, well_formed)
+    sentences = sentence_splitter(TXT)
+
+    def run():
+        return self_splittable_with_filter(checked, sentences)
+
+    answer = benchmark.pedantic(run, rounds=1, iterations=1)
+    report("T6 filter", "Thm 7.6: minimal filter L_P enables sentence split",
+           f"{answer}")
+    assert answer
+
+
+@pytest.mark.benchmark(group="t6-extensions")
+def test_t6_annotated_general_vs_highlander(benchmark):
+    annotated, spanner, mapping = _annotated_scenario()
+
+    def run():
+        start = time.perf_counter()
+        general = annotated_split_correct(spanner, mapping, annotated)
+        t_general = time.perf_counter() - start
+        det_annotated = AnnotatedSplitter(
+            {key: determinize(s) for key, s in annotated.keyed.items()}
+        )
+        det_spanner = determinize(spanner)
+        det_mapping = {key: determinize(s) for key, s in mapping.items()}
+        start = time.perf_counter()
+        fast = annotated_split_correct_highlander(
+            det_spanner, det_mapping, det_annotated, check=False
+        )
+        t_fast = time.perf_counter() - start
+        return general, t_general, fast, t_fast
+
+    general, t_general, fast, t_fast = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    report("T6 annotated",
+           "Thms E.3/E.4: GET/POST routing split-correct; highlander "
+           "fast path agrees",
+           f"general={general} ({t_general*1e3:.0f}ms), "
+           f"highlander={fast} ({t_fast*1e3:.0f}ms)")
+    assert general and fast

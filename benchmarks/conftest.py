@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark prints a paper-vs-measured row so that running
+``pytest benchmarks/ --benchmark-only -s`` regenerates the full
+comparison table recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable
+
+import pytest
+
+
+def timed(function: Callable, repeats: int = 1) -> float:
+    """Best-of-``repeats`` wall-clock seconds for ``function()``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def report(experiment: str, paper_claim: str, measured: str) -> None:
+    """Emit one comparison row (captured by ``-s`` runs)."""
+    print(f"\n[{experiment}] paper: {paper_claim} | measured: {measured}",
+          file=sys.stderr)
+
+
+@pytest.fixture
+def reporter():
+    return report

@@ -1,0 +1,141 @@
+"""repro: Split-Correctness in Information Extraction (PODS 2019).
+
+A from-scratch implementation of the document-spanner framework of
+Doleschal, Kimelfeld, Martens, Nahshon and Neven: regular spanners
+(regex formulas and VSet-automata), splitters, and the decision
+procedures for split-correctness, splittability and self-splittability
+with their tractable fragments, together with a runtime that exploits
+split-correctness for parallel and incremental evaluation.
+
+Quickstart::
+
+    from repro import compile_regex_formula, token_splitter
+    from repro import is_self_splittable, split_by
+
+    alphabet = frozenset("ab .")
+    extractor = compile_regex_formula(".*( )y{a+}( ).*", alphabet)
+    tokens = token_splitter(alphabet)
+    if is_self_splittable(extractor, tokens):
+        results = split_by(extractor, tokens, "aa ab ba aa.")
+
+See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
+reproduced results.
+"""
+
+from repro.core import (
+    AnnotatedSplitter,
+    BlackBoxSpanner,
+    Span,
+    SpanTuple,
+    SpannerSignature,
+    SpannerSymbol,
+    SplitConstraint,
+    annotated_split_correct,
+    annotated_splittable,
+    black_box_split_correct,
+    canonical_split_spanner,
+    compose,
+    compose_semantics,
+    compose_splitters,
+    cover_condition,
+    is_self_splittable,
+    is_self_splittable_dfvsa,
+    is_splittable,
+    minimal_filter_language,
+    self_splittability_witness,
+    split_correct_dfvsa,
+    split_correct_general,
+    split_correct_witness,
+    splits_of,
+    splitters_commute,
+    subsumes,
+)
+from repro.spanners import (
+    VSetAutomaton,
+    boolean_spanner,
+    compile_regex_formula,
+    determinize,
+    dfvsa_contains,
+    is_deterministic,
+    is_dfvsa,
+    is_weakly_deterministic,
+    spanner_contains,
+    spanner_equivalent,
+)
+from repro.splitters import (
+    char_ngram_splitter,
+    consecutive_sentence_pairs,
+    fixed_window_splitter,
+    is_disjoint,
+    paragraph_splitter,
+    record_splitter,
+    sentence_splitter,
+    separator_splitter,
+    token_ngram_splitter,
+    token_splitter,
+    whole_document_splitter,
+)
+from repro.runtime import (
+    IncrementalExtractor,
+    Planner,
+    evaluate_whole,
+    split_by,
+    split_by_parallel,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnotatedSplitter",
+    "BlackBoxSpanner",
+    "Span",
+    "SpanTuple",
+    "SpannerSignature",
+    "SpannerSymbol",
+    "SplitConstraint",
+    "annotated_split_correct",
+    "annotated_splittable",
+    "black_box_split_correct",
+    "canonical_split_spanner",
+    "compose",
+    "compose_semantics",
+    "compose_splitters",
+    "cover_condition",
+    "is_self_splittable",
+    "is_self_splittable_dfvsa",
+    "is_splittable",
+    "minimal_filter_language",
+    "self_splittability_witness",
+    "split_correct_dfvsa",
+    "split_correct_general",
+    "split_correct_witness",
+    "splits_of",
+    "splitters_commute",
+    "subsumes",
+    "VSetAutomaton",
+    "boolean_spanner",
+    "compile_regex_formula",
+    "determinize",
+    "dfvsa_contains",
+    "is_deterministic",
+    "is_dfvsa",
+    "is_weakly_deterministic",
+    "spanner_contains",
+    "spanner_equivalent",
+    "char_ngram_splitter",
+    "consecutive_sentence_pairs",
+    "fixed_window_splitter",
+    "is_disjoint",
+    "paragraph_splitter",
+    "record_splitter",
+    "sentence_splitter",
+    "separator_splitter",
+    "token_ngram_splitter",
+    "token_splitter",
+    "whole_document_splitter",
+    "evaluate_whole",
+    "split_by",
+    "split_by_parallel",
+    "IncrementalExtractor",
+    "Planner",
+]

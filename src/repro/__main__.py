@@ -1,0 +1,96 @@
+"""Command-line analyzer: which splitters is a program split-correct for?
+
+The Introduction's debugging interface as a CLI::
+
+    python -m repro analyze --pattern '.*( )y{a+}( ).*|y{a+}( ).*|.*( )y{a+}|y{a+}' \
+        --alphabet 'ab .' --splitters tokens,sentences
+
+prints, per splitter, disjointness, self-splittability and
+splittability, plus the recommended plan.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.runtime.planner import Planner, RegisteredSplitter
+from repro.spanners.regex_formulas import compile_regex_formula
+
+
+def _build_splitter(name: str, alphabet):
+    from repro.splitters import builders
+
+    if name == "tokens":
+        return builders.token_splitter(alphabet)
+    if name == "sentences":
+        return builders.sentence_splitter(alphabet)
+    if name == "paragraphs":
+        return builders.paragraph_splitter(alphabet)
+    if name == "records":
+        return builders.record_splitter(alphabet)
+    if name == "whole":
+        return builders.whole_document_splitter(alphabet)
+    if name.startswith("ngram"):
+        return builders.token_ngram_splitter(alphabet, int(name[5:] or 2))
+    if name.startswith("window"):
+        return builders.fixed_window_splitter(alphabet, int(name[6:] or 8))
+    raise SystemExit(f"unknown splitter {name!r}; try tokens, sentences, "
+                     "paragraphs, records, whole, ngram<N>, window<N>")
+
+
+def analyze(args) -> int:
+    alphabet = frozenset(args.alphabet)
+    try:
+        spanner = compile_regex_formula(args.pattern, alphabet)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    names = [n.strip() for n in args.splitters.split(",") if n.strip()]
+    registered = [
+        RegisteredSplitter(name, _build_splitter(name, alphabet),
+                           priority=len(names) - i)
+        for i, name in enumerate(names)
+    ]
+    planner = Planner(registered)
+    print(f"pattern:  {args.pattern}")
+    print(f"alphabet: {sorted(alphabet)}")
+    print()
+    print(f"{'splitter':<12} {'disjoint':<9} {'self-split':<11} splittable")
+    for row in planner.analyse(spanner):
+        splittable = "?" if row.splittable is None else str(row.splittable)
+        print(f"{row.name:<12} {str(row.disjoint):<9} "
+              f"{str(row.self_splittable):<11} {splittable}")
+    plan = planner.plan(spanner)
+    if plan.mode == "split":
+        extra = "self-splittable" if plan.self_splittable else \
+            "via canonical split-spanner"
+        print(f"\nplan: split by {plan.splitter.name!r} ({extra})")
+    else:
+        print("\nplan: whole-document evaluation (no certified splitter)")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    analyze_parser = subparsers.add_parser(
+        "analyze", help="report split-correctness against common splitters"
+    )
+    analyze_parser.add_argument("--pattern", required=True,
+                                help="regex formula (x{...} captures)")
+    analyze_parser.add_argument("--alphabet", required=True,
+                                help="document alphabet, e.g. 'ab .'")
+    analyze_parser.add_argument(
+        "--splitters", default="tokens,sentences",
+        help="comma list: tokens,sentences,paragraphs,records,whole,"
+             "ngram<N>,window<N>",
+    )
+    args = parser.parse_args(argv)
+    if args.command == "analyze":
+        return analyze(args)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,45 @@
+"""Classical automata substrate.
+
+Everything in the split-correctness framework ultimately reduces to
+questions about regular languages: spanner containment is ref-word
+language containment after canonicalization (Theorem 4.1 of the paper),
+the tractable cover-condition test is containment of unambiguous finite
+automata (Lemma 5.6), and the hardness results are reductions from DFA
+union universality.  This subpackage provides the finite-automaton
+machinery those procedures are built on:
+
+* :mod:`repro.automata.nfa` -- nondeterministic finite automata with
+  epsilon transitions, products, unions, and subset construction;
+* :mod:`repro.automata.dfa` -- deterministic automata, minimization and
+  complementation;
+* :mod:`repro.automata.regex` -- a classical regular-expression parser
+  compiling to NFAs (Thompson construction);
+* :mod:`repro.automata.containment` -- language containment and
+  equivalence via on-the-fly determinization (the PSPACE procedure);
+* :mod:`repro.automata.ufa` -- ambiguity testing and the polynomial-time
+  containment test for unambiguous automata (Stearns & Hunt [33]).
+"""
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.automata.dfa import DFA
+from repro.automata.regex import regex_to_nfa, parse_regex
+from repro.automata.containment import (
+    nfa_contains,
+    nfa_equivalent,
+    nfa_universal,
+)
+from repro.automata.ufa import is_unambiguous, ufa_contains, count_words_by_length
+
+__all__ = [
+    "EPSILON",
+    "NFA",
+    "DFA",
+    "regex_to_nfa",
+    "parse_regex",
+    "nfa_contains",
+    "nfa_equivalent",
+    "nfa_universal",
+    "is_unambiguous",
+    "ufa_contains",
+    "count_words_by_length",
+]

@@ -1,0 +1,204 @@
+"""Deterministic finite automata: complementation and minimization.
+
+DFAs appear in the reproduction in two roles: as the targets of the
+subset construction used by the PSPACE containment procedures, and as
+the *inputs* of the hardness reductions (DFA union universality, Kozen
+[17]) that the paper uses for Theorems 4.2, 5.1, and Lemma 5.4.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Hashable, Iterable, Sequence, Set, Tuple
+
+from repro.automata.nfa import NFA
+
+State = Hashable
+Symbol = Hashable
+
+
+class DFA:
+    """A complete deterministic finite automaton.
+
+    Completeness (a transition for every state/symbol pair) is enforced
+    at construction time by adding an implicit sink when needed; this
+    makes complementation a final-state flip.
+    """
+
+    _SINK = ("dfa-sink",)
+
+    def __init__(
+        self,
+        alphabet: Iterable[Symbol],
+        states: Iterable[State],
+        initial: State,
+        finals: Iterable[State],
+        transitions: Dict[State, Dict[Symbol, State]],
+    ) -> None:
+        self.alphabet: FrozenSet[Symbol] = frozenset(alphabet)
+        self.states: Set[State] = set(states)
+        self.initial = initial
+        self.finals: Set[State] = set(finals)
+        self._delta: Dict[State, Dict[Symbol, State]] = {
+            state: dict(row) for state, row in transitions.items()
+        }
+        self.states.add(initial)
+        self.states.update(self.finals)
+        self._complete()
+
+    def _complete(self) -> None:
+        """Add a sink state so the transition function is total."""
+        need_sink = False
+        for state in self.states:
+            row = self._delta.setdefault(state, {})
+            for symbol in self.alphabet:
+                if symbol not in row:
+                    row[symbol] = self._SINK
+                    need_sink = True
+        if need_sink:
+            self.states.add(self._SINK)
+            self._delta[self._SINK] = {a: self._SINK for a in self.alphabet}
+
+    # ------------------------------------------------------------------
+
+    def delta(self, state: State, symbol: Symbol) -> State:
+        return self._delta[state][symbol]
+
+    def run(self, word: Sequence[Symbol]) -> State:
+        state = self.initial
+        for symbol in word:
+            state = self._delta[state][symbol]
+        return state
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        return self.run(word) in self.finals
+
+    def complement(self) -> "DFA":
+        """The DFA for the complement language."""
+        return DFA(
+            self.alphabet,
+            self.states,
+            self.initial,
+            self.states - self.finals,
+            self._delta,
+        )
+
+    def to_nfa(self) -> NFA:
+        transitions = [
+            (state, symbol, target)
+            for state, row in self._delta.items()
+            for symbol, target in row.items()
+        ]
+        return NFA(self.alphabet, self.states, self.initial, self.finals, transitions)
+
+    def reachable_states(self) -> FrozenSet[State]:
+        seen = {self.initial}
+        queue = deque(seen)
+        while queue:
+            state = queue.popleft()
+            for target in self._delta[state].values():
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return frozenset(seen)
+
+    def is_empty(self) -> bool:
+        return not (self.reachable_states() & self.finals)
+
+    def minimize(self) -> "DFA":
+        """Hopcroft partition-refinement minimization.
+
+        Unreachable states are dropped first; the result is the unique
+        minimal complete DFA for the language (up to state naming).
+        """
+        reachable = self.reachable_states()
+        finals = self.finals & reachable
+        nonfinals = reachable - finals
+        partition: Set[FrozenSet[State]] = set()
+        if finals:
+            partition.add(frozenset(finals))
+        if nonfinals:
+            partition.add(frozenset(nonfinals))
+        worklist: Set[FrozenSet[State]] = set(partition)
+
+        preimage: Dict[Tuple[Symbol, State], Set[State]] = {}
+        for state in reachable:
+            for symbol, target in self._delta[state].items():
+                if target in reachable:
+                    preimage.setdefault((symbol, target), set()).add(state)
+
+        while worklist:
+            splitter = worklist.pop()
+            for symbol in self.alphabet:
+                moves_in: Set[State] = set()
+                for target in splitter:
+                    moves_in |= preimage.get((symbol, target), set())
+                if not moves_in:
+                    continue
+                for block in list(partition):
+                    inter = block & moves_in
+                    diff = block - moves_in
+                    if inter and diff:
+                        partition.remove(block)
+                        partition.add(frozenset(inter))
+                        partition.add(frozenset(diff))
+                        if block in worklist:
+                            worklist.remove(block)
+                            worklist.add(frozenset(inter))
+                            worklist.add(frozenset(diff))
+                        else:
+                            worklist.add(
+                                frozenset(inter)
+                                if len(inter) <= len(diff)
+                                else frozenset(diff)
+                            )
+
+        block_of: Dict[State, FrozenSet[State]] = {}
+        for block in partition:
+            for state in block:
+                block_of[state] = block
+        new_transitions: Dict[State, Dict[Symbol, State]] = {}
+        for block in partition:
+            representative = next(iter(block))
+            new_transitions[block] = {
+                symbol: block_of[self._delta[representative][symbol]]
+                for symbol in self.alphabet
+            }
+        new_finals = {block for block in partition if block <= self.finals}
+        return DFA(
+            self.alphabet,
+            partition,
+            block_of[self.initial],
+            new_finals,
+            new_transitions,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DFA(states={len(self.states)}, alphabet={len(self.alphabet)}, "
+            f"finals={len(self.finals)})"
+        )
+
+
+def random_dfa(
+    alphabet: Sequence[Symbol],
+    n_states: int,
+    seed: int,
+    final_fraction: float = 0.4,
+) -> DFA:
+    """A pseudo-random complete DFA (deterministic in ``seed``).
+
+    Used by the benchmark harness and the property tests to sample
+    instances for the DFA-union-universality reductions.
+    """
+    import random as _random
+
+    rng = _random.Random(seed)
+    states = list(range(n_states))
+    transitions: Dict[State, Dict[Symbol, State]] = {
+        s: {a: rng.randrange(n_states) for a in alphabet} for s in states
+    }
+    finals = {s for s in states if rng.random() < final_fraction}
+    if not finals:
+        finals = {rng.randrange(n_states)}
+    return DFA(alphabet, states, 0, finals, transitions)

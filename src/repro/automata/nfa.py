@@ -1,0 +1,408 @@
+"""Nondeterministic finite automata with epsilon transitions.
+
+The NFA here is the workhorse for the whole reproduction: VSet-automata
+are NFAs over the extended alphabet ``Sigma + Gamma_V`` (Section 4.2 of
+the paper), and every decision procedure eventually bottoms out in NFA
+reachability, products, or subset constructions.
+
+States can be arbitrary hashable objects; the constructions in
+:mod:`repro.core` exploit this by using structured tuples as states so
+that the resulting automata remain debuggable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+
+class _Epsilon:
+    """Singleton sentinel for the empty-word transition label."""
+
+    _instance: Optional["_Epsilon"] = None
+
+    def __new__(cls) -> "_Epsilon":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "EPSILON"
+
+    def __reduce__(self):
+        return (_Epsilon, ())
+
+
+#: The label used for epsilon transitions.  Never a member of any alphabet.
+EPSILON = _Epsilon()
+
+State = Hashable
+Symbol = Hashable
+
+
+class NFA:
+    """A nondeterministic finite automaton with a single initial state.
+
+    Transitions are stored as ``{state: {symbol: {successor, ...}}}``.
+    The symbol :data:`EPSILON` labels spontaneous moves and is not part
+    of :attr:`alphabet`.
+    """
+
+    def __init__(
+        self,
+        alphabet: Iterable[Symbol],
+        states: Iterable[State],
+        initial: State,
+        finals: Iterable[State],
+        transitions: Iterable[Tuple[State, Symbol, State]],
+    ) -> None:
+        self.alphabet: FrozenSet[Symbol] = frozenset(alphabet)
+        if EPSILON in self.alphabet:
+            raise ValueError("EPSILON cannot be an alphabet symbol")
+        self.states: Set[State] = set(states)
+        self.initial: State = initial
+        self.finals: Set[State] = set(finals)
+        self._delta: Dict[State, Dict[Symbol, Set[State]]] = {}
+        self.states.add(initial)
+        self.states.update(self.finals)
+        for source, symbol, target in transitions:
+            self.add_transition(source, symbol, target)
+        if not self.finals <= self.states:
+            raise ValueError("final states must be states")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    def add_transition(self, source: State, symbol: Symbol, target: State) -> None:
+        """Add a transition; states are created on demand."""
+        if symbol is not EPSILON and symbol not in self.alphabet:
+            raise ValueError(f"symbol {symbol!r} not in alphabet")
+        self.states.add(source)
+        self.states.add(target)
+        self._delta.setdefault(source, {}).setdefault(symbol, set()).add(target)
+
+    def transitions(self) -> Iterator[Tuple[State, Symbol, State]]:
+        """Iterate over all transitions as (source, symbol, target)."""
+        for source, by_symbol in self._delta.items():
+            for symbol, targets in by_symbol.items():
+                for target in targets:
+                    yield source, symbol, target
+
+    def successors(self, state: State, symbol: Symbol) -> FrozenSet[State]:
+        """Direct successors of ``state`` on ``symbol`` (no closure)."""
+        return frozenset(self._delta.get(state, {}).get(symbol, ()))
+
+    def symbols_from(self, state: State) -> FrozenSet[Symbol]:
+        """All labels (possibly EPSILON) on transitions leaving ``state``."""
+        return frozenset(self._delta.get(state, {}))
+
+    def copy(self) -> "NFA":
+        return NFA(
+            self.alphabet, self.states, self.initial, self.finals, self.transitions()
+        )
+
+    # ------------------------------------------------------------------
+    # Core semantics
+    # ------------------------------------------------------------------
+
+    def epsilon_closure(self, states: Iterable[State]) -> FrozenSet[State]:
+        """The set of states reachable via epsilon moves only."""
+        closure = set(states)
+        stack = list(closure)
+        while stack:
+            state = stack.pop()
+            for nxt in self._delta.get(state, {}).get(EPSILON, ()):
+                if nxt not in closure:
+                    closure.add(nxt)
+                    stack.append(nxt)
+        return frozenset(closure)
+
+    def step(self, states: AbstractSet[State], symbol: Symbol) -> FrozenSet[State]:
+        """One closed step: epsilon-closure after reading ``symbol``."""
+        moved: Set[State] = set()
+        for state in states:
+            moved.update(self._delta.get(state, {}).get(symbol, ()))
+        return self.epsilon_closure(moved)
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Membership test by on-the-fly subset simulation."""
+        current = self.epsilon_closure({self.initial})
+        for symbol in word:
+            current = self.step(current, symbol)
+            if not current:
+                return False
+        return bool(current & self.finals)
+
+    # ------------------------------------------------------------------
+    # Reachability and trimming
+    # ------------------------------------------------------------------
+
+    def reachable_states(self) -> FrozenSet[State]:
+        """States reachable from the initial state."""
+        seen = {self.initial}
+        queue = deque(seen)
+        while queue:
+            state = queue.popleft()
+            for targets in self._delta.get(state, {}).values():
+                for target in targets:
+                    if target not in seen:
+                        seen.add(target)
+                        queue.append(target)
+        return frozenset(seen)
+
+    def coreachable_states(self) -> FrozenSet[State]:
+        """States from which some final state is reachable."""
+        backward: Dict[State, Set[State]] = {}
+        for source, _symbol, target in self.transitions():
+            backward.setdefault(target, set()).add(source)
+        seen = set(self.finals)
+        queue = deque(seen)
+        while queue:
+            state = queue.popleft()
+            for prev in backward.get(state, ()):
+                if prev not in seen:
+                    seen.add(prev)
+                    queue.append(prev)
+        return frozenset(seen)
+
+    def trim(self) -> "NFA":
+        """Restrict to useful (reachable and co-reachable) states.
+
+        If the language is empty the result is a single non-final
+        initial state with no transitions.
+        """
+        useful = self.reachable_states() & self.coreachable_states()
+        if self.initial not in useful:
+            return NFA(self.alphabet, [self.initial], self.initial, [], [])
+        transitions = [
+            (s, a, t) for (s, a, t) in self.transitions() if s in useful and t in useful
+        ]
+        return NFA(
+            self.alphabet, useful, self.initial, self.finals & useful, transitions
+        )
+
+    def is_empty(self) -> bool:
+        """Whether the accepted language is empty."""
+        return not (self.reachable_states() & self.finals)
+
+    def shortest_word(self) -> Optional[Tuple[Symbol, ...]]:
+        """A shortest accepted word, or ``None`` if the language is empty.
+
+        Useful for producing witnesses/counterexamples in the decision
+        procedures (e.g. a document on which two spanners disagree).
+        """
+        start = self.epsilon_closure({self.initial})
+        if start & self.finals:
+            return ()
+        seen = {frozenset(start)}
+        queue: deque = deque([(frozenset(start), ())])
+        while queue:
+            current, word = queue.popleft()
+            for symbol in self.alphabet:
+                nxt = self.step(current, symbol)
+                if not nxt:
+                    continue
+                key = frozenset(nxt)
+                if key in seen:
+                    continue
+                new_word = word + (symbol,)
+                if nxt & self.finals:
+                    return new_word
+                seen.add(key)
+                queue.append((key, new_word))
+        return None
+
+    # ------------------------------------------------------------------
+    # Rational operations
+    # ------------------------------------------------------------------
+
+    def remove_epsilon(self) -> "NFA":
+        """An equivalent NFA without epsilon transitions."""
+        transitions = []
+        finals: Set[State] = set()
+        for state in self.states:
+            closure = self.epsilon_closure({state})
+            if closure & self.finals:
+                finals.add(state)
+            for mid in closure:
+                for symbol, targets in self._delta.get(mid, {}).items():
+                    if symbol is EPSILON:
+                        continue
+                    for target in targets:
+                        transitions.append((state, symbol, target))
+        return NFA(self.alphabet, self.states, self.initial, finals, transitions)
+
+    def product(self, other: "NFA") -> "NFA":
+        """Intersection automaton (synchronized product).
+
+        Epsilon moves of either side are interleaved asynchronously, so
+        both operands may contain epsilon transitions.  States are pairs
+        ``(p, q)``.
+        """
+        alphabet = self.alphabet & other.alphabet
+        initial = (self.initial, other.initial)
+        transitions = []
+        seen = {initial}
+        queue = deque([initial])
+        finals = set()
+        while queue:
+            p, q = queue.popleft()
+            if p in self.finals and q in other.finals:
+                finals.add((p, q))
+            moves = []
+            for symbol in self.symbols_from(p):
+                if symbol is EPSILON:
+                    for p2 in self.successors(p, EPSILON):
+                        moves.append((EPSILON, (p2, q)))
+                elif symbol in alphabet:
+                    for p2 in self.successors(p, symbol):
+                        for q2 in other.successors(q, symbol):
+                            moves.append((symbol, (p2, q2)))
+            for q2 in other.successors(q, EPSILON):
+                moves.append((EPSILON, (p, q2)))
+            for symbol, target in moves:
+                transitions.append(((p, q), symbol, target))
+                if target not in seen:
+                    seen.add(target)
+                    queue.append(target)
+        return NFA(alphabet, seen, initial, finals, transitions)
+
+    def union(self, other: "NFA") -> "NFA":
+        """Union automaton via a fresh initial state."""
+        alphabet = self.alphabet | other.alphabet
+        initial = ("union-init",)
+        states: Set[State] = {initial}
+        transitions = []
+        finals: Set[State] = set()
+        for tag, nfa in (("L", self), ("R", other)):
+            for state in nfa.states:
+                states.add((tag, state))
+            for source, symbol, target in nfa.transitions():
+                transitions.append(((tag, source), symbol, (tag, target)))
+            for final in nfa.finals:
+                finals.add((tag, final))
+            transitions.append((initial, EPSILON, (tag, nfa.initial)))
+        return NFA(alphabet, states, initial, finals, transitions)
+
+    def concatenate(self, other: "NFA") -> "NFA":
+        """Concatenation: every final of ``self`` feeds ``other``."""
+        alphabet = self.alphabet | other.alphabet
+        states: Set[State] = set()
+        transitions = []
+        for tag, nfa in (("L", self), ("R", other)):
+            for state in nfa.states:
+                states.add((tag, state))
+            for source, symbol, target in nfa.transitions():
+                transitions.append(((tag, source), symbol, (tag, target)))
+        for final in self.finals:
+            transitions.append((("L", final), EPSILON, ("R", other.initial)))
+        finals = {("R", f) for f in other.finals}
+        return NFA(alphabet, states, ("L", self.initial), finals, transitions)
+
+    def star(self) -> "NFA":
+        """Kleene star with a fresh (final) initial state."""
+        initial = ("star-init",)
+        states: Set[State] = {initial}
+        transitions = []
+        for state in self.states:
+            states.add(("S", state))
+        for source, symbol, target in self.transitions():
+            transitions.append((("S", source), symbol, ("S", target)))
+        transitions.append((initial, EPSILON, ("S", self.initial)))
+        for final in self.finals:
+            transitions.append((("S", final), EPSILON, initial))
+        return NFA(self.alphabet, states, initial, {initial}, transitions)
+
+    def relabel(self) -> "NFA":
+        """Rename states to consecutive integers (canonical BFS order).
+
+        The constructions in :mod:`repro.core` nest products inside
+        products; relabeling keeps the state objects small.
+        """
+        order: Dict[State, int] = {}
+
+        def number(state: State) -> int:
+            if state not in order:
+                order[state] = len(order)
+            return order[state]
+
+        number(self.initial)
+        queue = deque([self.initial])
+        transitions = []
+        seen = {self.initial}
+        while queue:
+            state = queue.popleft()
+            by_symbol = self._delta.get(state, {})
+            for symbol in sorted(by_symbol, key=repr):
+                for target in sorted(by_symbol[symbol], key=repr):
+                    transitions.append((number(state), symbol, number(target)))
+                    if target not in seen:
+                        seen.add(target)
+                        queue.append(target)
+        finals = {order[f] for f in self.finals if f in order}
+        states = set(order.values())
+        return NFA(self.alphabet, states, 0, finals, transitions)
+
+    # ------------------------------------------------------------------
+    # Determinization
+    # ------------------------------------------------------------------
+
+    def to_dfa(self) -> "DFA":
+        """Full subset construction (the classical exponential step)."""
+        from repro.automata.dfa import DFA
+
+        start = self.epsilon_closure({self.initial})
+        states = {start}
+        transitions: Dict[FrozenSet[State], Dict[Symbol, FrozenSet[State]]] = {}
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            row: Dict[Symbol, FrozenSet[State]] = {}
+            for symbol in self.alphabet:
+                nxt = self.step(current, symbol)
+                row[symbol] = nxt
+                if nxt not in states:
+                    states.add(nxt)
+                    queue.append(nxt)
+            transitions[current] = row
+        finals = {s for s in states if s & self.finals}
+        return DFA(self.alphabet, states, start, finals, transitions)
+
+    # ------------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return (
+            f"NFA(states={len(self.states)}, alphabet={len(self.alphabet)}, "
+            f"finals={len(self.finals)})"
+        )
+
+
+def literal_nfa(alphabet: Iterable[Symbol], word: Sequence[Symbol]) -> NFA:
+    """An NFA accepting exactly ``word``."""
+    alphabet = frozenset(alphabet)
+    transitions = [(i, symbol, i + 1) for i, symbol in enumerate(word)]
+    return NFA(alphabet, range(len(word) + 1), 0, [len(word)], transitions)
+
+
+def empty_language_nfa(alphabet: Iterable[Symbol]) -> NFA:
+    """An NFA accepting the empty language."""
+    return NFA(alphabet, [0], 0, [], [])
+
+
+def universal_nfa(alphabet: Iterable[Symbol]) -> NFA:
+    """An NFA accepting all words over ``alphabet``."""
+    alphabet = frozenset(alphabet)
+    transitions = [(0, symbol, 0) for symbol in alphabet]
+    return NFA(alphabet, [0], 0, [0], transitions)

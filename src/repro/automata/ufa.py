@@ -1,0 +1,169 @@
+"""Unambiguous finite automata: ambiguity testing and containment.
+
+Lemma 5.6 of the paper reduces the cover condition (for deterministic
+functional VSet-automata and *disjoint* splitters) to the containment
+problem of unambiguous finite automata, which Stearns and Hunt [33]
+solved in polynomial time.  This module supplies both ingredients:
+
+* :func:`is_unambiguous` -- decides whether an NFA admits at most one
+  accepting run per word (product-squaring criterion);
+* :func:`ufa_contains` -- polynomial-time containment for unambiguous
+  automata by *counting*: for unambiguous ``A`` and ``B``,
+  ``L(A) <= L(B)`` iff ``A`` and the (also unambiguous) product
+  ``A x B`` accept the same number of words of every length up to
+  ``|A| + |A||B|``.  The counts are accepting-path counts, computed by
+  exact integer matrix-vector iteration, and the cut-off is sound
+  because both counting sequences obey linear recurrences whose orders
+  are bounded by the automaton sizes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, List, Tuple
+
+from repro.automata.nfa import NFA
+
+State = Hashable
+Symbol = Hashable
+
+
+class AmbiguityError(ValueError):
+    """Raised when an allegedly unambiguous automaton is ambiguous."""
+
+
+def _trimmed_epsilon_free(nfa: NFA) -> NFA:
+    """Normalize for path counting: remove epsilons, keep useful states."""
+    return nfa.remove_epsilon().trim()
+
+
+def is_unambiguous(nfa: NFA) -> bool:
+    """Whether no word has two distinct accepting runs.
+
+    Criterion: in the synchronized self-product of the trimmed,
+    epsilon-free automaton, no *useful* off-diagonal pair is reachable
+    from the diagonal start.  Useful means the pair can still reach a
+    pair of final states; reachable off-diagonal pairs witness two runs
+    on the same word that differ in at least one position.
+    """
+    clean = _trimmed_epsilon_free(nfa)
+    start = (clean.initial, clean.initial)
+    seen = {start}
+    queue = deque([start])
+    reachable_offdiag = set()
+    forward: Dict[Tuple[State, State], List[Tuple[State, State]]] = {}
+    while queue:
+        p, q = queue.popleft()
+        for symbol in clean.symbols_from(p):
+            for p2 in clean.successors(p, symbol):
+                for q2 in clean.successors(q, symbol):
+                    pair = (p2, q2)
+                    forward.setdefault((p, q), []).append(pair)
+                    if pair not in seen:
+                        seen.add(pair)
+                        queue.append(pair)
+                    if p2 != q2:
+                        reachable_offdiag.add(pair)
+    if not reachable_offdiag:
+        return True
+    # Check co-reachability to a pair of finals within the product.
+    backward: Dict[Tuple[State, State], List[Tuple[State, State]]] = {}
+    for source, targets in forward.items():
+        for target in targets:
+            backward.setdefault(target, []).append(source)
+    good = {
+        pair
+        for pair in seen
+        if pair[0] in clean.finals and pair[1] in clean.finals
+    }
+    queue = deque(good)
+    coreachable = set(good)
+    while queue:
+        pair = queue.popleft()
+        for prev in backward.get(pair, ()):
+            if prev not in coreachable:
+                coreachable.add(prev)
+                queue.append(prev)
+    return not (reachable_offdiag & coreachable)
+
+
+def count_words_by_length(nfa: NFA, max_length: int) -> List[int]:
+    """Accepting-path counts for lengths ``0..max_length``.
+
+    For an unambiguous automaton this equals the number of accepted
+    *words* of each length.  Exact integer arithmetic; no overflow.
+    """
+    clean = _trimmed_epsilon_free(nfa)
+    states = sorted(clean.states, key=repr)
+    index = {state: i for i, state in enumerate(states)}
+    n = len(states)
+    # Sparse transfer matrix: entry[i][j] = number of letters a with
+    # j in delta(i, a).
+    transfer: List[Dict[int, int]] = [dict() for _ in range(n)]
+    for source, _symbol, target in clean.transitions():
+        row = transfer[index[source]]
+        col = index[target]
+        row[col] = row.get(col, 0) + 1
+    vector = [0] * n
+    vector[index[clean.initial]] = 1
+    final_indices = [index[f] for f in clean.finals]
+    counts = []
+    for _length in range(max_length + 1):
+        counts.append(sum(vector[i] for i in final_indices))
+        nxt = [0] * n
+        for i, value in enumerate(vector):
+            if not value:
+                continue
+            for j, multiplicity in transfer[i].items():
+                nxt[j] += value * multiplicity
+        vector = nxt
+    return counts
+
+
+def _epsilon_free_product(left: NFA, right: NFA) -> NFA:
+    """Synchronized product of two epsilon-free automata."""
+    alphabet = left.alphabet | right.alphabet
+    initial = (left.initial, right.initial)
+    transitions = []
+    seen = {initial}
+    queue = deque([initial])
+    finals = set()
+    while queue:
+        p, q = queue.popleft()
+        if p in left.finals and q in right.finals:
+            finals.add((p, q))
+        for symbol in left.symbols_from(p):
+            for p2 in left.successors(p, symbol):
+                for q2 in right.successors(q, symbol):
+                    target = (p2, q2)
+                    transitions.append(((p, q), symbol, target))
+                    if target not in seen:
+                        seen.add(target)
+                        queue.append(target)
+    return NFA(alphabet, seen, initial, finals, transitions)
+
+
+def ufa_contains(left: NFA, right: NFA, check: bool = True) -> bool:
+    """Polynomial-time containment test for unambiguous automata.
+
+    Decides ``L(left) <= L(right)`` assuming both operands are
+    unambiguous.  With ``check=True`` ambiguity is verified first and
+    :class:`AmbiguityError` raised on violation (the cover-condition
+    algorithm of Lemma 5.6 relies on splitter disjointness to guarantee
+    unambiguity, so a failure here indicates a misuse upstream).
+    """
+    if check:
+        if not is_unambiguous(left):
+            raise AmbiguityError("left operand is ambiguous")
+        if not is_unambiguous(right):
+            raise AmbiguityError("right operand is ambiguous")
+    a = _trimmed_epsilon_free(left)
+    b = _trimmed_epsilon_free(right)
+    product = _epsilon_free_product(a, b).trim()
+    # Counting sequences of `a` and `product` obey linear recurrences of
+    # order at most their state counts; if they agree on that many
+    # initial terms they agree everywhere.
+    bound = len(a.states) + len(product.states) + 1
+    counts_a = count_words_by_length(a, bound)
+    counts_ab = count_words_by_length(product, bound)
+    return counts_a == counts_ab

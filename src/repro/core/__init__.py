@@ -1,0 +1,117 @@
+"""The split-correctness framework (Sections 3, 5, 6, 7 of the paper).
+
+This is the paper's primary contribution: splitters, the composition
+``P o S``, and the decision problems Split-correctness, Splittability
+and Self-splittability with their general (PSPACE) and tractable
+(dfVSA + disjoint splitter) procedures, plus the Section 6 reasoning
+problems and the Section 7 extensions (black boxes, regular filters,
+annotated splitters).
+"""
+
+from repro.core.spans import EMPTY_TUPLE, Span, SpanTuple, all_spans, whole_span
+from repro.core.composition import (
+    compose,
+    compose_semantics,
+    splits_of,
+    splitter_variable,
+)
+from repro.core.cover import (
+    cover_condition,
+    cover_condition_disjoint,
+    cover_condition_general,
+)
+from repro.core.split_correctness import (
+    split_correct_dfvsa,
+    split_correct_general,
+    split_correct_witness,
+)
+from repro.core.splittability import (
+    canonical_split_spanner,
+    is_splittable,
+    splittability_witness,
+)
+from repro.core.self_splittability import (
+    is_self_splittable,
+    is_self_splittable_dfvsa,
+    self_splittability_witness,
+)
+from repro.core.reasoning import (
+    compose_splitters,
+    self_split_transfers,
+    splitters_commute,
+    subsumes,
+)
+from repro.core.black_box import (
+    BlackBoxSpanner,
+    SpannerSignature,
+    SpannerSymbol,
+    SplitConstraint,
+    black_box_split_correct,
+    evaluate_join,
+    evaluate_join_split,
+    join_relations,
+)
+from repro.core.filters import (
+    FilteredSplitter,
+    filtered_splitter_for,
+    minimal_filter_language,
+    self_splittable_with_filter,
+    split_correct_with_filter,
+    splittable_with_filter,
+)
+from repro.core.annotated import (
+    AnnotatedSplitter,
+    annotated_split_correct,
+    annotated_split_correct_highlander,
+    annotated_splittable,
+    canonical_key_mapping,
+    compose_annotated,
+)
+
+__all__ = [
+    "EMPTY_TUPLE",
+    "Span",
+    "SpanTuple",
+    "all_spans",
+    "whole_span",
+    "compose",
+    "compose_semantics",
+    "splits_of",
+    "splitter_variable",
+    "cover_condition",
+    "cover_condition_disjoint",
+    "cover_condition_general",
+    "split_correct_dfvsa",
+    "split_correct_general",
+    "split_correct_witness",
+    "canonical_split_spanner",
+    "is_splittable",
+    "splittability_witness",
+    "is_self_splittable",
+    "is_self_splittable_dfvsa",
+    "self_splittability_witness",
+    "compose_splitters",
+    "self_split_transfers",
+    "splitters_commute",
+    "subsumes",
+    "BlackBoxSpanner",
+    "SpannerSignature",
+    "SpannerSymbol",
+    "SplitConstraint",
+    "black_box_split_correct",
+    "evaluate_join",
+    "evaluate_join_split",
+    "join_relations",
+    "FilteredSplitter",
+    "filtered_splitter_for",
+    "minimal_filter_language",
+    "self_splittable_with_filter",
+    "split_correct_with_filter",
+    "splittable_with_filter",
+    "AnnotatedSplitter",
+    "annotated_split_correct",
+    "annotated_split_correct_highlander",
+    "annotated_splittable",
+    "canonical_key_mapping",
+    "compose_annotated",
+]

@@ -1,0 +1,107 @@
+"""High-level entry points with automatic procedure selection.
+
+The low-level modules expose one function per theorem; these wrappers
+pick the best applicable procedure the way a query planner would:
+
+* verify the preconditions of the tractable fragment (deterministic
+  functional automata, disjoint splitter — Theorems 5.7/5.17) and use
+  the polynomial procedure when they hold;
+* otherwise fall back to the general PSPACE procedures (Theorems 5.1,
+  5.15, 5.16).
+
+``method`` can force a specific procedure: ``"fast"`` (raises if the
+preconditions fail), ``"general"``, or ``"auto"`` (default).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.split_correctness import (
+    split_correct_dfvsa,
+    split_correct_general,
+)
+from repro.spanners.determinism import is_deterministic
+from repro.spanners.vset_automaton import VSetAutomaton
+
+_METHODS = ("auto", "fast", "general")
+
+
+def _fast_applicable(
+    splitter: VSetAutomaton, *spanners: VSetAutomaton
+) -> bool:
+    from repro.splitters.disjointness import is_disjoint
+
+    for automaton in (*spanners, splitter):
+        if not is_deterministic(automaton):
+            return False
+        if not automaton.is_functional():
+            return False
+    return is_disjoint(splitter)
+
+
+def _check_method(method: str) -> None:
+    if method not in _METHODS:
+        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+
+
+def split_correct(
+    spanner: VSetAutomaton,
+    split_spanner: VSetAutomaton,
+    splitter: VSetAutomaton,
+    method: str = "auto",
+) -> bool:
+    """Is ``P = P_S o S``?  Auto-selects Theorem 5.7 or Theorem 5.1.
+
+    Note the documented corner case of the fast procedure: a tuple
+    consisting solely of empty spans on the boundary between two
+    adjacent splits is covered by both, which the Theorem 5.7 argument
+    (and this implementation of it) does not account for; use
+    ``method="general"`` when such tuples can arise.
+    """
+    _check_method(method)
+    if method == "general":
+        return split_correct_general(spanner, split_spanner, splitter)
+    applicable = _fast_applicable(splitter, spanner, split_spanner)
+    if method == "fast":
+        if not applicable:
+            raise ValueError(
+                "fast split-correctness requires dfVSA inputs and a "
+                "disjoint splitter (Theorem 5.7)"
+            )
+        return split_correct_dfvsa(spanner, split_spanner, splitter,
+                                   check=False)
+    if applicable:
+        return split_correct_dfvsa(spanner, split_spanner, splitter,
+                                   check=False)
+    return split_correct_general(spanner, split_spanner, splitter)
+
+
+def self_splittable(
+    spanner: VSetAutomaton,
+    splitter: VSetAutomaton,
+    method: str = "auto",
+) -> bool:
+    """Is ``P = P o S``?  Auto-selects Theorem 5.17 or Theorem 5.16."""
+    return split_correct(spanner, spanner, splitter, method=method)
+
+
+def splittable(
+    spanner: VSetAutomaton,
+    splitter: VSetAutomaton,
+) -> Optional[bool]:
+    """Is some ``P_S`` with ``P = P_S o S`` available?
+
+    Returns ``True``/``False`` for disjoint splitters (Theorem 5.15)
+    and ``None`` for non-disjoint ones — decidability there is open
+    (Section 8) — unless ``P`` happens to be *self*-splittable, which
+    is decidable regardless and implies splittability.
+    """
+    from repro.core.splittability import is_splittable
+    from repro.splitters.disjointness import is_disjoint
+
+    if is_disjoint(splitter):
+        return is_splittable(spanner, splitter, require_disjoint=False)
+    if self_splittable(spanner, splitter, method="general"):
+        return True
+    return None

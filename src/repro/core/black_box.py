@@ -1,0 +1,221 @@
+"""Split-constrained black boxes (Section 7.1).
+
+Real extraction pipelines join regular spanners with opaque components
+(coreference resolvers, neural NER taggers, ...).  The framework treats
+them as *black boxes* known only through split constraints
+``pi <= S`` ("pi is self-splittable by S").  Theorem 7.4 gives the key
+sufficient condition: if the splitter is disjoint, the signature is
+connected, the regular part is splittable by ``S``, and every black box
+is self-splittable by ``S``, then the whole join is splittable by
+``S`` — with the concrete split-spanner
+``alpha_S |><| P_1 |><| ... |><| P_k``.
+
+This module provides the schema objects (signature, constraints,
+instances), the Theorem 7.4 decision procedure, and a runtime that
+evaluates joins of regular spanners with Python-callable black boxes —
+either directly or chunk-by-chunk when the theorem licenses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.core.composition import compose_semantics
+from repro.core.spans import SpanTuple
+from repro.spanners.vset_automaton import VSetAutomaton
+
+Variable = Hashable
+
+
+@dataclass(frozen=True)
+class SpannerSymbol:
+    """A named slot ``pi_i`` in a spanner signature."""
+
+    name: str
+    variables: FrozenSet[Variable]
+
+    def __post_init__(self) -> None:
+        if not self.variables:
+            raise ValueError("a spanner symbol needs at least one variable")
+
+
+@dataclass(frozen=True)
+class SpannerSignature:
+    """A collection of spanner symbols ``{pi_1, ..., pi_k}``.
+
+    The paper requires the underlying hypergraph (symbols as
+    hyperedges over their variables) to be *connected*; Theorem 7.4's
+    proof uses connectivity to obtain a single covering split.
+    """
+
+    symbols: Tuple[SpannerSymbol, ...]
+
+    def is_connected(self, extra_edges: Iterable[FrozenSet[Variable]] = ()) -> bool:
+        """Connectivity of the variable hypergraph (plus extra edges)."""
+        edges: List[FrozenSet[Variable]] = [s.variables for s in self.symbols]
+        edges.extend(frozenset(e) for e in extra_edges)
+        edges = [e for e in edges if e]
+        if not edges:
+            return True
+        component: Set[Variable] = set(edges[0])
+        remaining = edges[1:]
+        changed = True
+        while changed and remaining:
+            changed = False
+            still = []
+            for edge in remaining:
+                if edge & component:
+                    component |= edge
+                    changed = True
+                else:
+                    still.append(edge)
+            remaining = still
+        return not remaining
+
+
+@dataclass(frozen=True)
+class SplitConstraint:
+    """A regular split constraint ``pi <= S``: the interpretation of
+    ``pi`` is promised to be self-splittable by the splitter ``S``."""
+
+    symbol: SpannerSymbol
+    splitter: VSetAutomaton
+
+
+class BlackBoxSpanner:
+    """An opaque spanner: any callable from documents to span tuples.
+
+    The callable returns an iterable of :class:`SpanTuple` (or plain
+    ``{variable: Span}`` mappings) over exactly ``variables``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        variables: Iterable[Variable],
+        function: Callable[[str], Iterable],
+    ) -> None:
+        self.name = name
+        self.variables = frozenset(variables)
+        self._function = function
+
+    def svars(self) -> FrozenSet[Variable]:
+        return self.variables
+
+    def evaluate(self, document: str) -> Set[SpanTuple]:
+        results = set()
+        for item in self._function(document):
+            t = item if isinstance(item, SpanTuple) else SpanTuple(item)
+            if frozenset(t.variables()) != self.variables:
+                raise ValueError(
+                    f"black box {self.name!r} produced a tuple over "
+                    f"{t.variables()} instead of {sorted(map(str, self.variables))}"
+                )
+            results.add(t)
+        return results
+
+    def __repr__(self) -> str:
+        return f"BlackBoxSpanner({self.name!r}, vars={sorted(map(str, self.variables))})"
+
+
+def join_relations(
+    relations: Sequence[Set[SpanTuple]],
+) -> Set[SpanTuple]:
+    """Natural join of span relations (Definition A.1, executed)."""
+    if not relations:
+        return {SpanTuple({})}
+    result = relations[0]
+    for relation in relations[1:]:
+        joined: Set[SpanTuple] = set()
+        for left in result:
+            for right in relation:
+                if left.agrees_with(right):
+                    joined.add(left.join(right))
+        result = joined
+    return result
+
+
+def black_box_split_correct(
+    alpha: VSetAutomaton,
+    signature: SpannerSignature,
+    constraints: Sequence[SplitConstraint],
+    splitter: VSetAutomaton,
+) -> Optional[bool]:
+    """Theorem 7.4's sufficient condition for black-box split-correctness.
+
+    Returns ``True`` when the condition applies — the join
+    ``alpha |><| P_1 |><| ... |><| P_k`` is guaranteed splittable by
+    ``splitter`` for *every* instance satisfying the constraints.
+    Returns ``None`` ("unknown") when it does not: the general problem
+    is open (Section 8), and Lemma 7.3 shows the naive generalization
+    fails, so no negative answer is ever derived here.
+    """
+    from repro.core.splittability import is_splittable
+    from repro.splitters.disjointness import is_disjoint
+
+    if not is_disjoint(splitter):
+        return None
+    if not signature.is_connected(extra_edges=[alpha.variables]):
+        return None
+    constrained = {c.symbol.name for c in constraints
+                   if _same_splitter(c.splitter, splitter)}
+    if {s.name for s in signature.symbols} - constrained:
+        return None
+    if not is_splittable(alpha, splitter):
+        return None
+    return True
+
+
+def _same_splitter(left: VSetAutomaton, right: VSetAutomaton) -> bool:
+    """Whether two splitters define the same function."""
+    if left is right:
+        return True
+    from repro.core.reasoning import _align
+    from repro.spanners.containment import spanner_equivalent
+
+    a, b = _align(left, right)
+    return spanner_equivalent(a, b)
+
+
+def evaluate_join(
+    alpha: VSetAutomaton,
+    instances: Sequence[BlackBoxSpanner],
+    document: str,
+) -> Set[SpanTuple]:
+    """Evaluate ``alpha |><| P_1 |><| ... |><| P_k`` on a document."""
+    relations = [alpha.evaluate(document)]
+    relations.extend(box.evaluate(document) for box in instances)
+    return join_relations(relations)
+
+
+def evaluate_join_split(
+    alpha_split: VSetAutomaton,
+    instances: Sequence[BlackBoxSpanner],
+    splitter: VSetAutomaton,
+    document: str,
+) -> Set[SpanTuple]:
+    """Evaluate the join chunk-by-chunk (the Theorem 7.4 plan).
+
+    ``alpha_split`` is the split-spanner for the regular part (e.g. the
+    canonical one); each chunk is processed independently —
+    ``P_S = alpha_S |><| P_1 |><| ... |><| P_k`` — and results are
+    shifted back, exactly the parallelizable plan the theorem licenses.
+    """
+
+    def per_chunk(chunk: str) -> Set[SpanTuple]:
+        relations = [alpha_split.evaluate(chunk)]
+        relations.extend(box.evaluate(chunk) for box in instances)
+        return join_relations(relations)
+
+    return compose_semantics(per_chunk, splitter, document)

@@ -1,0 +1,135 @@
+"""The composition ``P o S`` of a spanner and a splitter (Section 3).
+
+``(P o S)(d)`` evaluates ``P`` on every substring extracted by the
+splitter ``S`` and shifts the results back into ``d``.  Two layers are
+provided:
+
+* :func:`compose_semantics` -- the definition itself, executed on a
+  concrete document (used by the runtime and as ground truth in tests);
+* :func:`compose` -- the automaton-level construction of Lemmas C.1 and
+  C.2: a VSet-automaton for ``P o S`` of polynomial size, built from
+  the three-phase product of the proof (before the split, inside the
+  split running ``P``, after the split).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Set
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.core.spans import Span, SpanTuple
+from repro.spanners.refwords import VarOp, gamma
+from repro.spanners.vset_automaton import VSetAutomaton
+
+Variable = Hashable
+
+
+def splitter_variable(splitter: VSetAutomaton) -> Variable:
+    """The unique variable ``x_S`` of a splitter (unary spanner)."""
+    if len(splitter.variables) != 1:
+        raise ValueError(
+            f"a splitter must be unary, got arity {len(splitter.variables)}"
+        )
+    return next(iter(splitter.variables))
+
+
+def splits_of(splitter: VSetAutomaton, document: str) -> Set[Span]:
+    """``S(d)`` viewed as a set of spans (the paper's simplified view)."""
+    variable = splitter_variable(splitter)
+    return {t[variable] for t in splitter.evaluate(document)}
+
+
+def compose_semantics(
+    evaluate: Callable[[str], Set[SpanTuple]],
+    splitter: VSetAutomaton,
+    document: str,
+) -> Set[SpanTuple]:
+    """``(P o S)(d)`` by direct evaluation.
+
+    ``evaluate`` is any function from documents to span relations (a
+    compiled spanner, a black box, ...); the splitter must be a
+    VSet-automaton so its spans can be enumerated.
+    """
+    results: Set[SpanTuple] = set()
+    for span in splits_of(splitter, document):
+        chunk = span.extract(document)
+        for t in evaluate(chunk):
+            results.add(t.shift(span))
+    return results
+
+
+def compose(spanner: VSetAutomaton, splitter: VSetAutomaton) -> VSetAutomaton:
+    """A VSet-automaton for ``spanner o splitter`` (Lemma C.2).
+
+    States are ``("pre", q_S)`` before the split opens, ``("mid", q_S,
+    q_P)`` while the splitter variable is open and ``P`` runs on the
+    chunk, and ``("post", q_S)`` afterwards.  The splitter is made
+    functional first so that every accepting run opens and closes its
+    variable exactly once.
+    """
+    if splitter_variable(splitter) in spanner.variables:
+        splitter = splitter.rename_variables(
+            {splitter_variable(splitter): ("xS-fresh",)}
+        )
+    s_nfa = splitter.valid_ref_nfa().trim()
+    p_nfa = spanner.nfa
+    x = splitter_variable(splitter)
+    open_x = VarOp(x, False)
+    close_x = VarOp(x, True)
+    doc_alphabet = spanner.doc_alphabet | splitter.doc_alphabet
+    variables = spanner.variables
+    alphabet = doc_alphabet | gamma(variables)
+
+    transitions = []
+    states = set()
+
+    def pre(q):
+        return ("pre", q)
+
+    def mid(q, p):
+        return ("mid", q, p)
+
+    def post(q):
+        return ("post", q)
+
+    for source, symbol, target in s_nfa.transitions():
+        if symbol is EPSILON:
+            transitions.append((pre(source), EPSILON, pre(target)))
+            transitions.append((post(source), EPSILON, post(target)))
+            for p in p_nfa.states:
+                transitions.append((mid(source, p), EPSILON, mid(target, p)))
+        elif symbol == open_x:
+            transitions.append(
+                (pre(source), EPSILON, mid(target, p_nfa.initial))
+            )
+        elif symbol == close_x:
+            for p in p_nfa.finals:
+                transitions.append((mid(source, p), EPSILON, post(target)))
+        elif isinstance(symbol, VarOp):
+            # A functional splitter has no other variable operations.
+            continue
+        else:
+            transitions.append((pre(source), symbol, pre(target)))
+            transitions.append((post(source), symbol, post(target)))
+            for p_source, p_symbol, p_target in p_nfa.transitions():
+                if p_symbol == symbol:
+                    transitions.append(
+                        (mid(source, p_source), symbol, mid(target, p_target))
+                    )
+
+    # Inside the split, P's epsilon moves and variable operations happen
+    # while the splitter stands still.
+    for q in s_nfa.states:
+        for p_source, p_symbol, p_target in p_nfa.transitions():
+            if p_symbol is EPSILON or isinstance(p_symbol, VarOp):
+                transitions.append(
+                    (mid(q, p_source), p_symbol, mid(q, p_target))
+                )
+
+    initial = pre(s_nfa.initial)
+    finals = {post(q) for q in s_nfa.finals}
+    states.update([initial])
+    states.update(finals)
+    nfa = NFA(alphabet, states, initial, finals, transitions).trim()
+    composed = VSetAutomaton(doc_alphabet, variables, nfa)
+    return composed.relabel()

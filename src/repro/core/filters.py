@@ -1,0 +1,97 @@
+"""Splitters with regular filters (Section 7.2).
+
+A splitter with filter ``S[L]`` behaves like ``S`` on documents in
+``L`` and outputs nothing otherwise — a precondition such as "the
+document is a well-formed log".  Lemma 7.5 shows the *minimal* useful
+filter is ``L_P = {d : P(d) != {}}``, so the existential problems
+("is there a filter language that makes things work?") reduce to the
+corresponding plain problems with ``S[L_P]`` (Theorems 7.6, 7.7).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.automata.nfa import NFA
+from repro.core.spans import Span
+from repro.spanners.algebra import restrict_to_language
+from repro.spanners.vset_automaton import VSetAutomaton
+
+
+class FilteredSplitter:
+    """The splitter with filter ``S[L]`` (a pair of splitter and NFA)."""
+
+    def __init__(self, splitter: VSetAutomaton, language: NFA) -> None:
+        self.splitter = splitter
+        self.language = language
+
+    def evaluate(self, document: str):
+        """``S[L](d)``: ``S(d)`` if ``d`` is in ``L``, else empty."""
+        if not self.language.accepts(document):
+            return set()
+        return self.splitter.evaluate(document)
+
+    def splits(self, document: str) -> Set[Span]:
+        from repro.core.composition import splits_of
+
+        if not self.language.accepts(document):
+            return set()
+        return splits_of(self.splitter, document)
+
+    def as_splitter(self) -> VSetAutomaton:
+        """An ordinary splitter equivalent to ``S[L]``.
+
+        Splitters with filter are no more powerful than splitters
+        (Section 7.2); the construction is the language restriction
+        ``S |><| pi_{}(L)``.
+        """
+        return restrict_to_language(self.splitter, self.language)
+
+
+def minimal_filter_language(spanner: VSetAutomaton) -> NFA:
+    """Lemma 7.5's ``L_P``: documents on which ``P`` produces output."""
+    return spanner.match_language()
+
+
+def filtered_splitter_for(
+    spanner: VSetAutomaton, splitter: VSetAutomaton
+) -> FilteredSplitter:
+    """The splitter ``S[L_P]`` used by Theorems 7.6 and 7.7."""
+    return FilteredSplitter(splitter, minimal_filter_language(spanner))
+
+
+def split_correct_with_filter(
+    spanner: VSetAutomaton,
+    split_spanner: VSetAutomaton,
+    splitter: VSetAutomaton,
+) -> bool:
+    """Theorem 7.6: is there a regular ``L`` with ``P = P_S o S[L]``?
+
+    By Lemma 7.5 it suffices to test ``L = L_P``; requires ``P``
+    functional (guaranteed for compiled regex formulas).  PSPACE.
+    """
+    from repro.core.split_correctness import split_correct_general
+
+    effective = filtered_splitter_for(spanner, splitter).as_splitter()
+    return split_correct_general(spanner, split_spanner, effective)
+
+
+def self_splittable_with_filter(
+    spanner: VSetAutomaton, splitter: VSetAutomaton
+) -> bool:
+    """Theorem 7.6 (self-splittability variant)."""
+    return split_correct_with_filter(spanner, spanner, splitter)
+
+
+def splittable_with_filter(
+    spanner: VSetAutomaton, splitter: VSetAutomaton
+) -> bool:
+    """Theorem 7.7: splittability with a regular filter.
+
+    Requires the splitter disjoint (the underlying splittability
+    characterization of Theorem 5.15 does).
+    """
+    from repro.core.splittability import is_splittable
+
+    effective = filtered_splitter_for(spanner, splitter).as_splitter()
+    return is_splittable(spanner, effective)

@@ -1,0 +1,110 @@
+"""Reasoning about splitters (Section 6).
+
+Query planners manipulate splitters like relational operators:
+
+* :func:`compose_splitters` materializes ``S2 o S1`` (Lemma 6.1);
+* :func:`splitters_commute` decides commutativity w.r.t. a regular
+  context language (Theorem 6.2, PSPACE-complete);
+* :func:`subsumes` decides whether running ``S'`` on the chunks of
+  ``S`` is a no-op (Theorem 6.3, PSPACE-complete);
+* Observation 6.4 and Lemma 6.5 on transitivity have no decision
+  procedure — :func:`self_split_transfers` packages the *sound
+  inference* of Lemma 6.5 (self-splittability transfers along splitter
+  subsumption) for use by the planner.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.automata.nfa import NFA
+from repro.core.composition import compose, splitter_variable
+from repro.spanners.algebra import restrict_to_language
+from repro.spanners.containment import spanner_equivalent
+from repro.spanners.vset_automaton import VSetAutomaton
+
+
+def compose_splitters(
+    outer: VSetAutomaton, inner: VSetAutomaton
+) -> VSetAutomaton:
+    """Lemma 6.1: a VSet-automaton for ``outer o inner``.
+
+    ``(outer o inner)(d)`` applies ``inner`` to ``d`` and ``outer`` to
+    every chunk, e.g. sentences of paragraphs.  Polynomial time via the
+    Lemma C.2 composition (the outer splitter is a unary spanner).
+    """
+    return compose(outer, inner)
+
+
+def _align(
+    left: VSetAutomaton, right: VSetAutomaton
+) -> tuple:
+    """Rename both splitters to a common variable for comparison."""
+    target = ("split",)
+    return (
+        left.rename_variables({splitter_variable(left): target}),
+        right.rename_variables({splitter_variable(right): target}),
+    )
+
+
+def splitters_commute(
+    first: VSetAutomaton,
+    second: VSetAutomaton,
+    context: Optional[NFA] = None,
+) -> bool:
+    """Theorem 6.2: does ``S1 o S2 = S2 o S1`` on documents in ``R``?
+
+    ``context=None`` means all documents (``R = Sigma*``).  The paper's
+    page/paragraph example: if splitting by pages then paragraphs
+    equals splitting by paragraphs then pages, the planner may choose
+    either order.
+    """
+    one = compose_splitters(first, second)
+    two = compose_splitters(second, first)
+    one, two = _align(one, two)
+    if context is not None:
+        one = restrict_to_language(one, context)
+        two = restrict_to_language(two, context)
+    return spanner_equivalent(one, two)
+
+
+def subsumes(
+    splitter: VSetAutomaton,
+    refiner: VSetAutomaton,
+    context: Optional[NFA] = None,
+) -> bool:
+    """Theorem 6.3: does ``S`` subsume ``S'`` w.r.t. ``R``?
+
+    ``S`` subsumes ``S'`` when ``S(d) = (S' o S)(d)`` for all
+    ``d in R`` — i.e. re-splitting the chunks of ``S`` by ``S'``
+    changes nothing (every sentence is a sentence of its paragraph).
+    """
+    composed = compose_splitters(refiner, splitter)
+    left, right = _align(splitter, composed)
+    if context is not None:
+        left = restrict_to_language(left, context)
+        right = restrict_to_language(right, context)
+    return spanner_equivalent(left, right)
+
+
+def self_split_transfers(
+    spanner: VSetAutomaton,
+    fine: VSetAutomaton,
+    coarse: VSetAutomaton,
+) -> bool:
+    """Lemma 6.5 as a sound planner inference.
+
+    If ``P = P o S1`` and ``S1 = S1 o S2`` then ``P = P o S2``: a
+    spanner self-splittable by the fine splitter is self-splittable by
+    any coarser splitter whose chunks the fine splitter tiles.  Returns
+    ``True`` when both premises are verified to hold (so the
+    conclusion is guaranteed); ``False`` means *unknown*, not
+    non-splittability (cf. Observation 6.4).
+    """
+    from repro.core.self_splittability import is_self_splittable
+
+    if not is_self_splittable(spanner, fine):
+        return False
+    refined = compose_splitters(fine, coarse)
+    left, right = _align(fine, refined)
+    return spanner_equivalent(left, right)

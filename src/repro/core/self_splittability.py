@@ -1,0 +1,39 @@
+"""Self-splittability: is ``P = P o S``? (Section 5.3.)
+
+Self-splittability is split-correctness with ``P_S = P`` (Definition
+3.1(3)); the complexity results are Theorem 5.16 (PSPACE-complete in
+general) and Theorem 5.17 (polynomial time for dfVSA with disjoint
+splitters, an immediate corollary of Theorem 5.7).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.split_correctness import (
+    split_correct_dfvsa,
+    split_correct_general,
+    split_correct_witness,
+)
+from repro.spanners.vset_automaton import VSetAutomaton
+
+
+def is_self_splittable(
+    spanner: VSetAutomaton, splitter: VSetAutomaton
+) -> bool:
+    """Theorem 5.16: decide ``P = P o S`` (PSPACE procedure)."""
+    return split_correct_general(spanner, spanner, splitter)
+
+
+def is_self_splittable_dfvsa(
+    spanner: VSetAutomaton, splitter: VSetAutomaton, check: bool = True
+) -> bool:
+    """Theorem 5.17: polynomial time for dfVSA and disjoint splitters."""
+    return split_correct_dfvsa(spanner, spanner, splitter, check=check)
+
+
+def self_splittability_witness(
+    spanner: VSetAutomaton, splitter: VSetAutomaton
+) -> Optional[Tuple[Tuple, "object"]]:
+    """A ``(document, tuple)`` pair where ``P`` and ``P o S`` differ."""
+    return split_correct_witness(spanner, spanner, splitter)

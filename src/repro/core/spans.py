@@ -1,0 +1,217 @@
+"""Spans, span tuples, and the shift operator (Section 2 of the paper).
+
+A *span* ``[i, j>`` of a document ``d`` marks the substring starting at
+(1-based) position ``i`` and ending just before position ``j``; the
+paper's Figure 1 example ``[2,6> >> [7,13> = [8,12>`` is reproduced in
+the doctests below.
+
+>>> Span(2, 6) >> Span(7, 13)
+Span(8, 12)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, Mapping, Tuple
+
+Variable = Hashable
+
+
+@dataclass(frozen=True, order=True)
+class Span:
+    """A span ``[begin, end>`` with ``1 <= begin <= end``.
+
+    Positions are 1-based and ``end`` is exclusive, exactly matching
+    the paper's ``[i, j>`` notation; the empty span at position ``i``
+    is ``Span(i, i)``.
+    """
+
+    begin: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.begin <= self.end:
+            raise ValueError(f"invalid span [{self.begin}, {self.end}>")
+
+    def __repr__(self) -> str:
+        return f"Span({self.begin}, {self.end})"
+
+    @property
+    def length(self) -> int:
+        """Number of characters covered."""
+        return self.end - self.begin
+
+    def extract(self, document: str) -> str:
+        """The substring ``d[i,j>`` of ``document``.
+
+        >>> Span(2, 4).extract("abcde")
+        'bc'
+        """
+        if self.end > len(document) + 1:
+            raise ValueError(f"{self!r} is not a span of a document of "
+                             f"length {len(document)}")
+        return document[self.begin - 1 : self.end - 1]
+
+    def shift(self, context: "Span") -> "Span":
+        """The shift operator ``self >> context`` (Section 3).
+
+        If ``self`` is a span of the substring ``d[context>``, the
+        result marks the same region inside the original document:
+        ``[i', j'> >> [i, j> = [i' + (i-1), j' + (i-1)>``.
+
+        >>> Span(2, 6).shift(Span(7, 13))
+        Span(8, 12)
+        """
+        offset = context.begin - 1
+        return Span(self.begin + offset, self.end + offset)
+
+    def __rshift__(self, context: "Span") -> "Span":
+        return self.shift(context)
+
+    def unshift(self, context: "Span") -> "Span":
+        """Inverse of :meth:`shift`: re-express within ``context``.
+
+        Requires ``context`` to contain ``self``.
+        """
+        if not context.contains(self):
+            raise ValueError(f"{context!r} does not contain {self!r}")
+        offset = context.begin - 1
+        return Span(self.begin - offset, self.end - offset)
+
+    def overlaps(self, other: "Span") -> bool:
+        """Paper definition: ``[i,j>`` and ``[i',j'>`` overlap iff
+        ``i <= i' < j`` or ``i' <= i < j'``.
+
+        >>> Span(1, 3).overlaps(Span(2, 2))
+        True
+        >>> Span(2, 2).overlaps(Span(2, 2))
+        False
+        """
+        return (self.begin <= other.begin < self.end) or (
+            other.begin <= self.begin < other.end
+        )
+
+    def disjoint(self, other: "Span") -> bool:
+        """Negation of :meth:`overlaps`."""
+        return not self.overlaps(other)
+
+    def contains(self, other: "Span") -> bool:
+        """``[i,j>`` contains ``[i',j'>`` iff ``i <= i' <= j' <= j``."""
+        return self.begin <= other.begin and other.end <= self.end
+
+
+def whole_span(document: str) -> Span:
+    """The span ``[1, |d|+1>`` covering all of ``document``."""
+    return Span(1, len(document) + 1)
+
+
+def all_spans(document: str) -> Iterator[Span]:
+    """Enumerate ``Spans(d)``: every ``[i,j>`` with ``1<=i<=j<=|d|+1``."""
+    n = len(document)
+    for i in range(1, n + 2):
+        for j in range(i, n + 2):
+            yield Span(i, j)
+
+
+class SpanTuple(Mapping[Variable, Span]):
+    """An immutable ``(V, d)``-tuple: a mapping from variables to spans.
+
+    Hashable so span relations can be plain Python sets.
+
+    >>> t = SpanTuple({"x": Span(1, 3)})
+    >>> t["x"]
+    Span(1, 3)
+    >>> t >> Span(4, 8)
+    SpanTuple({'x': Span(4, 6)})
+    """
+
+    __slots__ = ("_assignment", "_hash")
+
+    def __init__(self, assignment: Mapping[Variable, Span]) -> None:
+        self._assignment: Dict[Variable, Span] = dict(assignment)
+        self._hash = hash(frozenset(self._assignment.items()))
+
+    def __getitem__(self, variable: Variable) -> Span:
+        return self._assignment[variable]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._assignment)
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SpanTuple):
+            return self._assignment == other._assignment
+        if isinstance(other, Mapping):
+            return dict(self._assignment) == dict(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        items = ", ".join(
+            f"{var!r}: {span!r}" for var, span in sorted(
+                self._assignment.items(), key=lambda kv: str(kv[0])
+            )
+        )
+        return f"SpanTuple({{{items}}})"
+
+    def shift(self, context: Span) -> "SpanTuple":
+        """Component-wise shift ``t >> s`` (Section 3)."""
+        return SpanTuple(
+            {var: span.shift(context) for var, span in self._assignment.items()}
+        )
+
+    def __rshift__(self, context: Span) -> "SpanTuple":
+        return self.shift(context)
+
+    def unshift(self, context: Span) -> "SpanTuple":
+        """Component-wise inverse shift; ``context`` must cover the tuple."""
+        return SpanTuple(
+            {var: span.unshift(context) for var, span in self._assignment.items()}
+        )
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return tuple(sorted(self._assignment, key=str))
+
+    def enclosing_span(self) -> Span:
+        """The minimal span containing every span of the tuple.
+
+        This is the span ``[i, j>`` from the proof of Lemma 5.3; for the
+        empty (0-ary) tuple there is no enclosure and ``ValueError`` is
+        raised.
+        """
+        if not self._assignment:
+            raise ValueError("the 0-ary tuple has no enclosing span")
+        begin = min(span.begin for span in self._assignment.values())
+        end = max(span.end for span in self._assignment.values())
+        return Span(begin, end)
+
+    def covered_by(self, span: Span) -> bool:
+        """Whether ``span`` contains every span of the tuple (Def 5.2).
+
+        The 0-ary tuple is covered by every span.
+        """
+        return all(span.contains(s) for s in self._assignment.values())
+
+    def agrees_with(self, other: "SpanTuple") -> bool:
+        """Whether the tuples agree on their shared variables (join)."""
+        return all(
+            self._assignment[var] == other[var]
+            for var in self._assignment
+            if var in other
+        )
+
+    def join(self, other: "SpanTuple") -> "SpanTuple":
+        """The combined tuple (requires :meth:`agrees_with`)."""
+        if not self.agrees_with(other):
+            raise ValueError("tuples disagree on shared variables")
+        merged = dict(self._assignment)
+        merged.update(other._assignment)
+        return SpanTuple(merged)
+
+
+#: The unique 0-ary tuple (output of Boolean spanners).
+EMPTY_TUPLE = SpanTuple({})

@@ -1,0 +1,176 @@
+"""Split-correctness: is ``P = P_S o S``? (Section 5.1.)
+
+Two procedures are provided, matching the paper's complexity
+landscape:
+
+* :func:`split_correct_general` -- Theorem 5.1: construct the
+  polynomial-size automaton for ``P_S o S`` (Lemma C.2) and test
+  spanner equivalence (PSPACE via the canonical extended form).
+* :func:`split_correct_dfvsa` -- Theorem 5.7: for deterministic
+  functional VSet-automata and a *disjoint* splitter, polynomial time.
+  First the cover condition is checked (Lemma 5.6); then the proof's
+  nondeterministic discrepancy search is run as a reachability problem
+  over the deterministic triple product of ``P``, ``S``, and ``P_S``,
+  looking for a ref-word on which ``S`` accepts a split and exactly
+  one of ``P`` and ``P_S`` accepts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Tuple
+
+from repro.core.composition import compose, splitter_variable
+from repro.core.cover import cover_condition_disjoint
+from repro.spanners.containment import equivalence_witness, spanner_equivalent
+from repro.spanners.determinism import is_deterministic
+from repro.spanners.refwords import VarOp
+from repro.spanners.vset_automaton import VSetAutomaton
+
+_DEAD = ("dead",)
+
+
+def split_correct_general(
+    spanner: VSetAutomaton,
+    split_spanner: VSetAutomaton,
+    splitter: VSetAutomaton,
+) -> bool:
+    """Theorem 5.1: split-correctness for arbitrary regular spanners."""
+    _check_compatible(spanner, split_spanner)
+    composed = compose(split_spanner, splitter)
+    return spanner_equivalent(spanner, composed)
+
+
+def split_correct_witness(
+    spanner: VSetAutomaton,
+    split_spanner: VSetAutomaton,
+    splitter: VSetAutomaton,
+) -> Optional[Tuple[Tuple, "object"]]:
+    """A ``(document, tuple)`` pair on which ``P`` and ``P_S o S``
+    differ, or ``None`` when split-correct."""
+    composed = compose(split_spanner, splitter)
+    return equivalence_witness(spanner, composed)
+
+
+def split_correct_dfvsa(
+    spanner: VSetAutomaton,
+    split_spanner: VSetAutomaton,
+    splitter: VSetAutomaton,
+    check: bool = True,
+) -> bool:
+    """Theorem 5.7: polynomial-time split-correctness.
+
+    Requires ``spanner`` and ``split_spanner`` deterministic and
+    functional and ``splitter`` a deterministic functional *disjoint*
+    splitter; with ``check=True`` determinism is verified (functionality
+    and disjointness are assumed from the caller, cf.
+    :func:`repro.core.api.split_correct` which verifies everything).
+    """
+    _check_compatible(spanner, split_spanner)
+    if check:
+        for name, automaton in (
+            ("spanner", spanner),
+            ("split spanner", split_spanner),
+            ("splitter", splitter),
+        ):
+            if not is_deterministic(automaton):
+                raise ValueError(f"{name} must be deterministic (dfVSA)")
+    if not cover_condition_disjoint(spanner, splitter):
+        return False
+    return not _discrepancy_reachable(spanner, split_spanner, splitter)
+
+
+def _step(automaton: VSetAutomaton, state, symbol):
+    """Deterministic step; ``_DEAD`` absorbs missing transitions."""
+    if state is _DEAD:
+        return _DEAD
+    successors = automaton.nfa.successors(state, symbol)
+    if not successors:
+        return _DEAD
+    (successor,) = successors
+    return successor
+
+
+def _discrepancy_reachable(
+    spanner: VSetAutomaton,
+    split_spanner: VSetAutomaton,
+    splitter: VSetAutomaton,
+) -> bool:
+    """The proof's on-the-fly search for a split where ``P`` and
+    ``P_S`` behave differently.
+
+    Simulates guessing a ref-word over ``Sigma + Gamma_V + Gamma_x``
+    symbol by symbol.  Because all three automata are deterministic the
+    configuration space is the plain triple product with a phase flag,
+    and reachability of an accepting discrepancy decides the problem.
+    Variable operations outside the split are not explored: by the
+    (already verified) cover condition they cannot matter.
+    """
+    x = splitter_variable(splitter)
+    open_x, close_x = VarOp(x, False), VarOp(x, True)
+    doc_alphabet = (
+        spanner.doc_alphabet
+        | split_spanner.doc_alphabet
+        | splitter.doc_alphabet
+    )
+    var_ops = [
+        VarOp(v, c) for v in sorted(spanner.variables, key=str)
+        for c in (False, True)
+    ]
+    # Phases: 0 before the split opens, 1 inside, 2 after it closed.
+    start = (spanner.nfa.initial, splitter.nfa.initial, None, 0)
+    seen = {start}
+    queue = deque([start])
+    while queue:
+        q_p, q_s, q_ps, phase = queue.popleft()
+        if phase == 2 and q_s in splitter.nfa.finals:
+            p_accepts = q_p is not _DEAD and q_p in spanner.nfa.finals
+            ps_accepts = (
+                q_ps is not _DEAD and q_ps in split_spanner.nfa.finals
+            )
+            if p_accepts != ps_accepts:
+                return True
+        moves = []
+        for symbol in doc_alphabet:
+            next_ps = _step(split_spanner, q_ps, symbol) if phase == 1 else q_ps
+            moves.append(
+                (_step(spanner, q_p, symbol),
+                 _step(splitter, q_s, symbol),
+                 next_ps,
+                 phase)
+            )
+        if phase == 1:
+            for op in var_ops:
+                moves.append(
+                    (_step(spanner, q_p, op),
+                     q_s,
+                     _step(split_spanner, q_ps, op),
+                     1)
+                )
+        if phase == 0:
+            next_s = _step(splitter, q_s, open_x)
+            if next_s is not _DEAD:
+                moves.append((q_p, next_s, split_spanner.nfa.initial, 1))
+        elif phase == 1:
+            next_s = _step(splitter, q_s, close_x)
+            if next_s is not _DEAD:
+                moves.append((q_p, next_s, q_ps, 2))
+        for config in moves:
+            q_p2, q_s2, _q_ps2, _ = config
+            if q_s2 is _DEAD:
+                continue
+            if config not in seen:
+                seen.add(config)
+                queue.append(config)
+    return False
+
+
+def _check_compatible(
+    spanner: VSetAutomaton, split_spanner: VSetAutomaton
+) -> None:
+    if spanner.variables != split_spanner.variables:
+        raise ValueError(
+            "P and P_S must use the same variables: "
+            f"{sorted(map(str, spanner.variables))} vs "
+            f"{sorted(map(str, split_spanner.variables))}"
+        )

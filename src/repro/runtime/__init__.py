@@ -1,0 +1,48 @@
+"""Execution runtime: parallel, incremental, and planned extraction.
+
+The systems layer motivated by the paper's Introduction: once
+split-correctness is certified, evaluation distributes over chunks
+(:mod:`repro.runtime.executor`), re-evaluation after edits touches
+only revised segments (:mod:`repro.runtime.incremental`), and a
+planner picks the best certified splitter automatically
+(:mod:`repro.runtime.planner`).
+"""
+
+from repro.runtime.executor import (
+    evaluate_whole,
+    map_corpus,
+    map_corpus_sequential,
+    split_by,
+    split_by_parallel,
+    splitter_spans,
+)
+from repro.runtime.fast import (
+    FastFixedWindowSplitter,
+    FastSentenceSplitter,
+    FastSeparatorSplitter,
+    FastSplitter,
+    FastTokenNgramSplitter,
+    RegexSpanner,
+)
+from repro.runtime.incremental import IncrementalExtractor
+from repro.runtime.planner import Plan, Planner, RegisteredSplitter, SplitReport
+
+__all__ = [
+    "evaluate_whole",
+    "map_corpus",
+    "map_corpus_sequential",
+    "split_by",
+    "split_by_parallel",
+    "splitter_spans",
+    "FastFixedWindowSplitter",
+    "FastSentenceSplitter",
+    "FastSeparatorSplitter",
+    "FastSplitter",
+    "FastTokenNgramSplitter",
+    "RegexSpanner",
+    "IncrementalExtractor",
+    "Plan",
+    "Planner",
+    "RegisteredSplitter",
+    "SplitReport",
+]

@@ -1,0 +1,183 @@
+"""Fast executable splitters and extractors.
+
+The decision procedures reason over VSet-automata, but a production
+system executes splitters and extractors with specialized code (the
+paper's SystemT/Xlog primitives).  This module provides such compiled
+implementations, each paired with the VSet-automaton *specification*
+it implements, so that:
+
+* the planner reasons on the automaton (split-correctness etc.);
+* the executor runs the fast implementation;
+* the test-suite checks the two agree on sampled documents.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable, List, Optional, Set
+
+from repro.core.spans import Span, SpanTuple
+from repro.spanners.vset_automaton import VSetAutomaton
+
+
+class FastSplitter:
+    """Base class: a splitter with a compiled ``splits`` method."""
+
+    #: The variable name used by the specification automaton.
+    variable = "x"
+
+    def splits(self, document: str) -> List[Span]:
+        raise NotImplementedError
+
+    def automaton(self, alphabet: Iterable[str]) -> VSetAutomaton:
+        """The VSet-automaton specification over ``alphabet``."""
+        raise NotImplementedError
+
+    def chunks(self, document: str) -> List[str]:
+        return [span.extract(document) for span in self.splits(document)]
+
+
+class FastSeparatorSplitter(FastSplitter):
+    """Maximal separator-free runs (tokenizer, paragraphs, records)."""
+
+    def __init__(self, separators: str) -> None:
+        if not separators:
+            raise ValueError("need at least one separator character")
+        self.separators = frozenset(separators)
+
+    def splits(self, document: str) -> List[Span]:
+        spans = []
+        begin = None
+        for index, char in enumerate(document, start=1):
+            if char in self.separators:
+                if begin is not None:
+                    spans.append(Span(begin, index))
+                    begin = None
+            elif begin is None:
+                begin = index
+        if begin is not None:
+            spans.append(Span(begin, len(document) + 1))
+        return spans
+
+    def automaton(self, alphabet: Iterable[str]) -> VSetAutomaton:
+        from repro.splitters.builders import separator_splitter
+
+        return separator_splitter(alphabet, self.separators, self.variable)
+
+
+class FastSentenceSplitter(FastSplitter):
+    """Sentences per the corpus convention (see splitters.builders)."""
+
+    def splits(self, document: str) -> List[Span]:
+        spans = []
+        begin = None
+        for index, char in enumerate(document, start=1):
+            if char == ".":
+                if begin is not None:
+                    spans.append(Span(begin, index + 1))
+                    begin = None
+            elif begin is None and char != " ":
+                begin = index
+        return spans
+
+    def automaton(self, alphabet: Iterable[str]) -> VSetAutomaton:
+        from repro.splitters.builders import sentence_splitter
+
+        return sentence_splitter(alphabet, self.variable)
+
+
+class FastTokenNgramSplitter(FastSplitter):
+    """Windows of ``n`` consecutive space-separated tokens."""
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("n must be positive")
+        self.n = n
+        self._tokens = FastSeparatorSplitter(" ")
+
+    def splits(self, document: str) -> List[Span]:
+        tokens = self._tokens.splits(document)
+        spans = []
+        for i in range(len(tokens) - self.n + 1):
+            spans.append(Span(tokens[i].begin, tokens[i + self.n - 1].end))
+        return spans
+
+    def automaton(self, alphabet: Iterable[str]) -> VSetAutomaton:
+        from repro.splitters.builders import token_ngram_splitter
+
+        return token_ngram_splitter(alphabet, self.n, self.variable)
+
+
+class FastFixedWindowSplitter(FastSplitter):
+    """Disjoint tiling into blocks of ``width`` characters."""
+
+    def __init__(self, width: int) -> None:
+        if width < 1:
+            raise ValueError("width must be positive")
+        self.width = width
+
+    def splits(self, document: str) -> List[Span]:
+        spans = []
+        for begin in range(1, len(document) + 1, self.width):
+            end = min(begin + self.width, len(document) + 1)
+            spans.append(Span(begin, end))
+        return spans
+
+    def automaton(self, alphabet: Iterable[str]) -> VSetAutomaton:
+        from repro.splitters.builders import fixed_window_splitter
+
+        return fixed_window_splitter(alphabet, self.width, self.variable)
+
+
+class RegexSpanner:
+    """An extractor executed with Python's ``re`` engine.
+
+    ``pattern`` uses named groups — one per span variable; every match
+    (including overlapping ones, found via lookahead scanning) yields a
+    tuple of the groups' spans.  ``specification`` optionally carries
+    the equivalent VSet-automaton for the reasoning procedures; the
+    test-suite validates the pair on sampled documents.
+    """
+
+    def __init__(
+        self,
+        pattern: str,
+        specification: Optional[VSetAutomaton] = None,
+        cost: Callable[[str], None] = None,
+    ) -> None:
+        self._regex = re.compile(pattern)
+        self.variables = frozenset(self._regex.groupindex)
+        if not self.variables:
+            raise ValueError("pattern needs at least one named group")
+        self.specification = specification
+        self._cost = cost
+
+    def svars(self):
+        return self.variables
+
+    def evaluate(self, document: str) -> Set[SpanTuple]:
+        results: Set[SpanTuple] = set()
+        start = 0
+        while start <= len(document):
+            match = self._regex.search(document, start)
+            if match is None:
+                break
+            assignment = {}
+            complete = True
+            for name in self.variables:
+                begin, end = match.span(name)
+                if begin < 0:
+                    complete = False
+                    break
+                assignment[name] = Span(begin + 1, end + 1)
+            if complete:
+                results.add(SpanTuple(assignment))
+            if self._cost is not None:
+                self._cost(match.group(0))
+            start = match.start() + 1
+        return results
+
+
+def compiled_evaluator(spanner: VSetAutomaton) -> Callable[[str], Set[SpanTuple]]:
+    """The reference evaluator of a VSet-automaton as a callable."""
+    return spanner.evaluate

@@ -1,0 +1,94 @@
+"""Incremental maintenance of extraction results (Introduction).
+
+When a large document undergoes a minor edit — the paper's Wikipedia
+model — a split-correct extractor only needs to re-process the revised
+segments.  :class:`IncrementalExtractor` materializes the splitter,
+caches per-chunk results keyed by chunk *text*, and recomputes only
+chunks it has never seen; unchanged segments cost a dictionary lookup.
+
+Soundness requires split-correctness of the extractor by the splitter
+(the extractor passed in plays the role of ``P_S``); the constructor
+can verify this when both are given as VSet-automata.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.spans import SpanTuple
+from repro.runtime.executor import SpannerLike, SplitterLike, splitter_spans
+from repro.spanners.vset_automaton import VSetAutomaton
+
+
+class IncrementalExtractor:
+    """Evaluate, then cheaply re-evaluate after edits.
+
+    ``cache_limit`` bounds the number of distinct chunk texts retained
+    (oldest evicted first); ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        spanner: SpannerLike,
+        splitter: SplitterLike,
+        verify: bool = False,
+        cache_limit: Optional[int] = None,
+    ) -> None:
+        if verify:
+            self._verify_split_correct(spanner, splitter)
+        self.spanner = spanner
+        self.splitter = splitter
+        self.cache_limit = cache_limit
+        self._cache: Dict[str, Set[SpanTuple]] = {}
+        self.chunks_evaluated = 0
+        self.chunks_reused = 0
+
+    @staticmethod
+    def _verify_split_correct(
+        spanner: SpannerLike, splitter: SplitterLike
+    ) -> None:
+        if not isinstance(spanner, VSetAutomaton):
+            raise ValueError(
+                "verification requires the spanner as a VSet-automaton"
+            )
+        automaton = (
+            splitter.automaton(spanner.doc_alphabet)
+            if hasattr(splitter, "automaton")
+            else splitter
+        )
+        from repro.core.self_splittability import is_self_splittable
+
+        if not is_self_splittable(spanner, automaton):
+            raise ValueError(
+                "extractor is not self-splittable by the splitter; "
+                "incremental evaluation would change its semantics"
+            )
+
+    def evaluate(self, document: str) -> Set[SpanTuple]:
+        """Evaluate on ``document``, reusing cached chunk results."""
+        results: Set[SpanTuple] = set()
+        for span in splitter_spans(self.splitter, document):
+            chunk = span.extract(document)
+            local = self._cache.get(chunk)
+            if local is None:
+                local = set(self.spanner.evaluate(chunk))
+                self._store(chunk, local)
+                self.chunks_evaluated += 1
+            else:
+                self.chunks_reused += 1
+            results.update(t.shift(span) for t in local)
+        return results
+
+    def _store(self, chunk: str, local: Set[SpanTuple]) -> None:
+        if self.cache_limit is not None and len(self._cache) >= self.cache_limit:
+            oldest = next(iter(self._cache))
+            del self._cache[oldest]
+        self._cache[chunk] = local
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for evaluated vs. reused chunks (for benchmarks)."""
+        return {
+            "evaluated": self.chunks_evaluated,
+            "reused": self.chunks_reused,
+            "cached_chunks": len(self._cache),
+        }

@@ -1,0 +1,132 @@
+"""A query planner that exploits split-correctness (Introduction).
+
+Given a registry of materialized splitters (sentences, paragraphs,
+records, ...) and an extractor, the planner runs the framework's
+decision procedures to find the splitters the extractor is
+split-correct for, picks the preferred one, and emits an executable
+plan.  It also powers the paper's *debugging* scenario: reporting
+which common splitters a program is (not) splittable by, so a
+developer can spot unintended boundary crossings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Set
+
+from repro.core.self_splittability import is_self_splittable
+from repro.core.splittability import canonical_split_spanner, is_splittable
+from repro.core.spans import SpanTuple
+from repro.runtime.executor import split_by, split_by_parallel
+from repro.spanners.vset_automaton import VSetAutomaton
+from repro.splitters.disjointness import is_disjoint
+
+
+@dataclass
+class RegisteredSplitter:
+    """A splitter known to the planner.
+
+    ``priority`` orders candidates (higher = preferred, typically the
+    finer granularity); ``executor`` optionally carries a fast
+    implementation used at run time instead of the automaton.
+    """
+
+    name: str
+    automaton: VSetAutomaton
+    priority: int = 0
+    executor: Optional[object] = None
+
+    def runtime_splitter(self):
+        return self.executor if self.executor is not None else self.automaton
+
+
+@dataclass
+class Plan:
+    """An executable extraction plan."""
+
+    mode: str                      # "split" or "whole"
+    splitter: Optional[RegisteredSplitter]
+    split_spanner: Optional[VSetAutomaton]
+    self_splittable: bool = False
+
+    def execute(
+        self, spanner: VSetAutomaton, document: str,
+        workers: Optional[int] = None,
+    ) -> Set[SpanTuple]:
+        if self.mode == "whole" or self.splitter is None:
+            return set(spanner.evaluate(document))
+        runner = self.split_spanner if self.split_spanner is not None else spanner
+        target = self.splitter.runtime_splitter()
+        if workers:
+            return split_by_parallel(runner, target, document, workers)
+        return split_by(runner, target, document)
+
+
+@dataclass
+class SplitReport:
+    """Outcome of the analysis of one candidate splitter."""
+
+    name: str
+    disjoint: bool
+    self_splittable: bool
+    splittable: Optional[bool]     # None = not determined (non-disjoint)
+    #: For non-disjoint splitters: a shortest document with two
+    #: distinct overlapping splits (debugging aid).
+    overlap_witness: Optional[str] = None
+
+
+class Planner:
+    """Analyse extractors against a registry of splitters."""
+
+    def __init__(self, splitters: Sequence[RegisteredSplitter]) -> None:
+        self.splitters = sorted(
+            splitters, key=lambda s: -s.priority
+        )
+
+    def analyse(self, spanner: VSetAutomaton) -> List[SplitReport]:
+        """The debugging report: how ``spanner`` splits by each
+        registered splitter (the paper's HTTP-log scenario)."""
+        from repro.splitters.disjointness import overlap_witness
+
+        reports = []
+        for registered in self.splitters:
+            automaton = registered.automaton
+            witness = overlap_witness(automaton)
+            disjoint = witness is None
+            self_split = is_self_splittable(spanner, automaton)
+            splittable: Optional[bool]
+            if self_split:
+                splittable = True
+            elif disjoint:
+                splittable = is_splittable(
+                    spanner, automaton, require_disjoint=False
+                )
+            else:
+                splittable = None
+            reports.append(
+                SplitReport(registered.name, disjoint, self_split,
+                            splittable, witness)
+            )
+        return reports
+
+    def plan(self, spanner: VSetAutomaton) -> Plan:
+        """The preferred executable plan for ``spanner``.
+
+        Self-splittable candidates win (no rewriting needed); otherwise
+        a splittable candidate is used with its canonical split-spanner
+        (Lemma 5.14 makes it the minimal valid choice).  Falls back to
+        whole-document evaluation.
+        """
+        for registered in self.splitters:
+            if is_self_splittable(spanner, registered.automaton):
+                return Plan("split", registered, None, self_splittable=True)
+        for registered in self.splitters:
+            if not is_disjoint(registered.automaton):
+                continue
+            if is_splittable(spanner, registered.automaton,
+                             require_disjoint=False):
+                canonical = canonical_split_spanner(
+                    spanner, registered.automaton
+                )
+                return Plan("split", registered, canonical)
+        return Plan("whole", None, None)

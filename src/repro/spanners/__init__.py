@@ -1,0 +1,108 @@
+"""Document spanners: ref-words, regex formulas, VSet-automata, algebra.
+
+This subpackage is the substrate of Section 4 of the paper — the
+representation formalisms for regular spanners and their decision
+procedures (evaluation, functionality, determinism, containment).
+"""
+
+from repro.spanners.refwords import (
+    Close,
+    Open,
+    VarOp,
+    canonical_refword,
+    clr,
+    clr_string,
+    gamma,
+    is_valid,
+    tuple_of,
+)
+from repro.spanners.vset_automaton import (
+    END_MARKER,
+    VSetAutomaton,
+    from_extended_nfa,
+)
+from repro.spanners.regex_formulas import (
+    Capture,
+    boolean_spanner,
+    compile_regex_formula,
+    formula_size,
+    parse_regex_formula,
+    svars,
+)
+from repro.spanners.determinism import (
+    determinize,
+    dfvsa_contains,
+    dfvsa_equivalent,
+    is_deterministic,
+    is_dfvsa,
+    is_weakly_deterministic,
+    lexicographic_normalize,
+)
+from repro.spanners.containment import (
+    containment_witness,
+    equivalence_witness,
+    spanner_contains,
+    spanner_equivalent,
+)
+from repro.spanners.datalog import (
+    Atom,
+    DatalogError,
+    DatalogProgram,
+    atom,
+)
+from repro.spanners.algebra import (
+    concat_language_left,
+    concat_language_right,
+    difference,
+    embed_in_context,
+    intersect,
+    natural_join,
+    open_close_wrap,
+    project,
+    union,
+)
+
+__all__ = [
+    "Atom",
+    "DatalogError",
+    "DatalogProgram",
+    "atom",
+    "Close",
+    "Open",
+    "VarOp",
+    "canonical_refword",
+    "clr",
+    "clr_string",
+    "gamma",
+    "is_valid",
+    "tuple_of",
+    "END_MARKER",
+    "VSetAutomaton",
+    "from_extended_nfa",
+    "Capture",
+    "boolean_spanner",
+    "compile_regex_formula",
+    "formula_size",
+    "parse_regex_formula",
+    "svars",
+    "determinize",
+    "dfvsa_contains",
+    "dfvsa_equivalent",
+    "is_deterministic",
+    "is_dfvsa",
+    "is_weakly_deterministic",
+    "lexicographic_normalize",
+    "containment_witness",
+    "equivalence_witness",
+    "spanner_contains",
+    "spanner_equivalent",
+    "concat_language_left",
+    "concat_language_right",
+    "difference",
+    "embed_in_context",
+    "intersect",
+    "natural_join",
+    "open_close_wrap",
+    "project",
+    "union",
+]

@@ -1,0 +1,306 @@
+"""The regular spanner algebra (Appendix A, Fagin et al. [7]).
+
+Regular spanners are the closure of regex formulas under union,
+projection, and natural join; adding difference stays within the class
+(Fagin et al., Theorem 4.12).  This module implements all four, plus
+the concatenation of a spanner with a regular language (Lemma A.3),
+which the proofs of Theorems 5.1 and 7.6 use to build
+``Sigma* . x{P_S} . Sigma*``.
+
+Union and concatenation operate directly on the underlying NFAs.  Join
+and difference go through the canonical extended (block) form where a
+position's variable operations are a single set-valued symbol; this
+sidesteps the pitfalls of interleaving individual operation orders.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable, Iterable, Set
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.spanners.refwords import VarOp, gamma
+from repro.spanners.vset_automaton import (
+    END_MARKER,
+    VSetAutomaton,
+    from_extended_nfa,
+)
+
+Variable = Hashable
+Symbol = Hashable
+
+
+def union(left: VSetAutomaton, right: VSetAutomaton) -> VSetAutomaton:
+    """``(P1 u P2)(d) = P1(d) u P2(d)``; requires union compatibility."""
+    if left.variables != right.variables:
+        raise ValueError("union requires identical variable sets")
+    doc_alphabet = left.doc_alphabet | right.doc_alphabet
+    lifted_left = _widen(left, doc_alphabet)
+    lifted_right = _widen(right, doc_alphabet)
+    return VSetAutomaton(
+        doc_alphabet, left.variables, lifted_left.nfa.union(lifted_right.nfa)
+    )
+
+
+def _widen(
+    automaton: VSetAutomaton, doc_alphabet: Iterable[Symbol]
+) -> VSetAutomaton:
+    """Re-type an automaton over a larger document alphabet."""
+    doc_alphabet = frozenset(doc_alphabet)
+    if doc_alphabet == automaton.doc_alphabet:
+        return automaton
+    alphabet = doc_alphabet | gamma(automaton.variables)
+    nfa = NFA(
+        alphabet,
+        automaton.nfa.states,
+        automaton.nfa.initial,
+        automaton.nfa.finals,
+        automaton.nfa.transitions(),
+    )
+    return VSetAutomaton(doc_alphabet, automaton.variables, nfa)
+
+
+def project(
+    automaton: VSetAutomaton, keep: Iterable[Variable]
+) -> VSetAutomaton:
+    """``pi_Y P``: restrict every output tuple to the variables ``Y``.
+
+    Operations of dropped variables become epsilon moves — but only
+    after filtering to valid ref-words, since a run that is invalid for
+    the full variable set must not become accepting by erasure.
+    """
+    keep = frozenset(keep)
+    if not keep <= automaton.variables:
+        raise ValueError("projection variables must be a subset of SVars")
+    base = automaton.valid_ref_nfa()
+    transitions = []
+    for source, symbol, target in base.transitions():
+        if isinstance(symbol, VarOp) and symbol.variable not in keep:
+            transitions.append((source, EPSILON, target))
+        else:
+            transitions.append((source, symbol, target))
+    alphabet = automaton.doc_alphabet | gamma(keep)
+    nfa = NFA(alphabet, base.states, base.initial, base.finals, transitions)
+    return VSetAutomaton(automaton.doc_alphabet, keep, nfa)
+
+
+def natural_join(left: VSetAutomaton, right: VSetAutomaton) -> VSetAutomaton:
+    """``P1 |><| P2``: tuples over ``V1 u V2`` agreeing with both sides.
+
+    Built as a product of the canonical extended forms: a joint block
+    is consistent when the two operands' blocks agree on the operations
+    of shared variables; the joint operation set is their union.
+    """
+    doc_alphabet = left.doc_alphabet | right.doc_alphabet
+    shared = left.variables & right.variables
+    shared_ops = gamma(shared)
+    ext_left = _widen(left, doc_alphabet).extended_nfa()
+    ext_right = _widen(right, doc_alphabet).extended_nfa()
+    initial = (ext_left.initial, ext_right.initial)
+    transitions = []
+    finals: Set = set()
+    seen = {initial}
+    queue = deque([initial])
+    alphabet: Set = set()
+    while queue:
+        p, q = queue.popleft()
+        left_moves = _extended_moves(ext_left, p)
+        right_moves = _extended_moves(ext_right, q)
+        for (ops1, letter1), targets1 in left_moves.items():
+            for (ops2, letter2), targets2 in right_moves.items():
+                if letter1 != letter2:
+                    continue
+                if (ops1 & shared_ops) != (ops2 & shared_ops):
+                    continue
+                label = (ops1 | ops2, letter1)
+                alphabet.add(label)
+                for t1 in targets1:
+                    for t2 in targets2:
+                        target = (t1, t2)
+                        transitions.append(((p, q), label, target))
+                        if letter1 == END_MARKER:
+                            finals.add(target)
+                        if target not in seen:
+                            seen.add(target)
+                            queue.append(target)
+    if not alphabet:
+        alphabet = {(frozenset(), END_MARKER)}
+    joined = NFA(alphabet, seen | finals, initial, finals, transitions)
+    return from_extended_nfa(
+        joined, doc_alphabet, left.variables | right.variables
+    )
+
+
+def _extended_moves(extended: NFA, state: Hashable):
+    """Outgoing extended transitions of ``state`` grouped by label."""
+    moves = {}
+    for symbol in extended.symbols_from(state):
+        if symbol is EPSILON:
+            continue
+        moves[symbol] = extended.successors(state, symbol)
+    return moves
+
+
+def intersect(left: VSetAutomaton, right: VSetAutomaton) -> VSetAutomaton:
+    """Intersection of spanners with identical variable sets."""
+    if left.variables != right.variables:
+        raise ValueError("intersection requires identical variable sets")
+    return natural_join(left, right)
+
+
+def difference(left: VSetAutomaton, right: VSetAutomaton) -> VSetAutomaton:
+    """``(P1 - P2)(d) = P1(d) - P2(d)``; requires union compatibility.
+
+    Computed in the extended form as ``L1 /\\ complement(L2)``.  Plain
+    complementation over the joint block alphabet is sound because
+    ``L1`` contains only well-formed encodings.
+    """
+    if left.variables != right.variables:
+        raise ValueError("difference requires identical variable sets")
+    doc_alphabet = left.doc_alphabet | right.doc_alphabet
+    ext_left = _widen(left, doc_alphabet).extended_nfa()
+    ext_right = _widen(right, doc_alphabet).extended_nfa()
+    alphabet = frozenset(ext_left.alphabet | ext_right.alphabet)
+    widened_right = NFA(
+        alphabet,
+        ext_right.states,
+        ext_right.initial,
+        ext_right.finals,
+        ext_right.transitions(),
+    )
+    complement = widened_right.to_dfa().complement().to_nfa()
+    widened_left = NFA(
+        alphabet,
+        ext_left.states,
+        ext_left.initial,
+        ext_left.finals,
+        ext_left.transitions(),
+    )
+    result = widened_left.product(complement).trim()
+    return from_extended_nfa(result, doc_alphabet, left.variables)
+
+
+def concat_language_left(
+    language: NFA, automaton: VSetAutomaton
+) -> VSetAutomaton:
+    """The spanner ``L . P`` of Lemma A.3 (language prefix)."""
+    doc_alphabet = automaton.doc_alphabet | language.alphabet
+    widened = _widen(automaton, doc_alphabet)
+    lifted = NFA(
+        widened.nfa.alphabet,
+        language.states,
+        language.initial,
+        language.finals,
+        language.transitions(),
+    )
+    return VSetAutomaton(
+        doc_alphabet, automaton.variables, lifted.concatenate(widened.nfa)
+    )
+
+
+def concat_language_right(
+    automaton: VSetAutomaton, language: NFA
+) -> VSetAutomaton:
+    """The spanner ``P . L`` of Lemma A.3 (language suffix)."""
+    doc_alphabet = automaton.doc_alphabet | language.alphabet
+    widened = _widen(automaton, doc_alphabet)
+    lifted = NFA(
+        widened.nfa.alphabet,
+        language.states,
+        language.initial,
+        language.finals,
+        language.transitions(),
+    )
+    return VSetAutomaton(
+        doc_alphabet, automaton.variables, widened.nfa.concatenate(lifted)
+    )
+
+
+def embed_in_context(
+    automaton: VSetAutomaton,
+    capture: Variable,
+) -> VSetAutomaton:
+    """The spanner ``Sigma* . x{P} . Sigma*`` used in Lemma C.1.
+
+    Wraps ``P`` so that the whole match of ``P`` is additionally
+    captured in the fresh variable ``capture`` while arbitrary context
+    surrounds it.
+    """
+    if capture in automaton.variables:
+        raise ValueError(f"variable {capture!r} already used by the spanner")
+    wrapped = open_close_wrap(automaton, capture)
+    sigma_star = _sigma_star_nfa(automaton.doc_alphabet)
+    return concat_language_left(
+        sigma_star, concat_language_right(wrapped, sigma_star)
+    )
+
+
+def _sigma_star_nfa(doc_alphabet: Iterable[Symbol]) -> NFA:
+    from repro.automata.nfa import universal_nfa
+
+    return universal_nfa(doc_alphabet)
+
+
+def restrict_to_language(
+    automaton: VSetAutomaton, language: NFA
+) -> VSetAutomaton:
+    """The spanner that agrees with ``P`` on ``L`` and is empty outside.
+
+    Used for the "w.r.t. a regular language R" variants of Section 6
+    and for splitters with filter (Section 7.2): the language automaton
+    advances on document letters while variable operations and epsilon
+    moves of the spanner leave it in place.
+    """
+    transitions = []
+    for source, symbol, target in automaton.nfa.transitions():
+        if symbol is EPSILON or isinstance(symbol, VarOp):
+            for r in language.states:
+                transitions.append(((source, r), symbol, (target, r)))
+        else:
+            for r_source, r_symbol, r_target in language.transitions():
+                if r_symbol is EPSILON:
+                    continue
+                if r_symbol == symbol:
+                    transitions.append(
+                        ((source, r_source), symbol, (target, r_target))
+                    )
+    # Epsilon moves of the language automaton.
+    for r_source, r_symbol, r_target in language.transitions():
+        if r_symbol is EPSILON:
+            for q in automaton.nfa.states:
+                transitions.append(((q, r_source), EPSILON, (q, r_target)))
+    initial = (automaton.nfa.initial, language.initial)
+    finals = {
+        (q, r)
+        for q in automaton.nfa.finals
+        for r in language.finals
+    }
+    nfa = NFA(automaton.nfa.alphabet, {initial} | finals, initial, finals,
+              transitions).trim()
+    return VSetAutomaton(automaton.doc_alphabet, automaton.variables, nfa)
+
+
+def open_close_wrap(
+    automaton: VSetAutomaton, capture: Variable
+) -> VSetAutomaton:
+    """The spanner ``x{P}``: additionally capture the whole match.
+
+    A fresh initial state opens ``capture`` before ``P`` starts and a
+    fresh final state closes it after ``P`` accepts (the construction
+    ``P^x`` from the proof of Lemma C.1).
+    """
+    from repro.spanners.refwords import Close, Open
+
+    if capture in automaton.variables:
+        raise ValueError(f"variable {capture!r} already used by the spanner")
+    variables = automaton.variables | {capture}
+    alphabet = automaton.doc_alphabet | gamma(variables)
+    new_initial = ("wrap-init",)
+    new_final = ("wrap-final",)
+    transitions = list(automaton.nfa.transitions())
+    transitions.append((new_initial, Open(capture), automaton.nfa.initial))
+    for final in automaton.nfa.finals:
+        transitions.append((final, Close(capture), new_final))
+    states = set(automaton.nfa.states) | {new_initial, new_final}
+    nfa = NFA(alphabet, states, new_initial, {new_final}, transitions)
+    return VSetAutomaton(automaton.doc_alphabet, variables, nfa)

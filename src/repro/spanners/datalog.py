@@ -1,0 +1,252 @@
+"""Non-recursive spanner Datalog (the paper's third formalism, [8]).
+
+Section 1 recalls that regular spanners are equally expressible as
+non-recursive Datalog over regex formulas (Fagin et al. [8]); systems
+such as Xlog expose exactly this interface.  This module provides it
+as a thin declarative layer over the algebra:
+
+* *base* (EDB) predicates are regex formulas or VSet-automata with an
+  ordered schema of span attributes;
+* *rules* derive IDB predicates: the body is a join of atoms
+  (optionally negated, with safe negation), the head projects onto the
+  head attributes;
+* several rules with the same head predicate are a union;
+* programs must be non-recursive; compilation proceeds bottom-up along
+  the dependency order and yields one VSet-automaton per predicate, so
+  every decision procedure of the framework (split-correctness,
+  splittability, ...) applies to entire Datalog programs.
+
+Example::
+
+    program = DatalogProgram(alphabet)
+    program.base("token", ["t"], token_spanner)
+    program.base("caps",  ["c"], caps_spanner)
+    program.rule("name", ["c"], [atom("caps", ["c"]), atom("token", ["c"])])
+    name_spanner = program.compile("name")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.spanners.algebra import difference, natural_join, project, union
+from repro.spanners.vset_automaton import VSetAutomaton
+
+Variable = Hashable
+
+
+@dataclass(frozen=True)
+class Atom:
+    """An occurrence of a predicate with positional variable bindings.
+
+    ``variables[i]`` binds the ``i``-th attribute of the predicate's
+    schema; repeating a variable joins the attributes (equality).
+    ``negated`` atoms subtract matching tuples (safe negation: their
+    variables must also occur positively in the rule body).
+    """
+
+    predicate: str
+    variables: Tuple[Variable, ...]
+    negated: bool = False
+
+
+def atom(predicate: str, variables: Sequence[Variable],
+         negated: bool = False) -> Atom:
+    """Convenience constructor for :class:`Atom`."""
+    return Atom(predicate, tuple(variables), negated)
+
+
+@dataclass(frozen=True)
+class Rule:
+    head: str
+    head_variables: Tuple[Variable, ...]
+    body: Tuple[Atom, ...]
+
+
+class DatalogError(ValueError):
+    """Malformed programs: recursion, unsafe rules, schema mismatches."""
+
+
+class DatalogProgram:
+    """A non-recursive spanner Datalog program."""
+
+    def __init__(self, alphabet: Iterable[str]) -> None:
+        self.alphabet = frozenset(alphabet)
+        self._base: Dict[str, Tuple[Tuple[Variable, ...], VSetAutomaton]] = {}
+        self._rules: Dict[str, List[Rule]] = {}
+        self._compiled: Dict[str, VSetAutomaton] = {}
+
+    # ------------------------------------------------------------------
+    # Declaration
+    # ------------------------------------------------------------------
+
+    def base(
+        self,
+        name: str,
+        schema: Sequence[Variable],
+        spanner: VSetAutomaton,
+    ) -> None:
+        """Register an EDB predicate with an ordered schema.
+
+        ``schema`` must name exactly the spanner's variables; it fixes
+        the positional meaning of atoms over the predicate.
+        """
+        if name in self._base or name in self._rules:
+            raise DatalogError(f"predicate {name!r} already defined")
+        if frozenset(schema) != spanner.variables:
+            raise DatalogError(
+                f"schema {list(schema)} does not match the spanner's "
+                f"variables {sorted(map(str, spanner.variables))}"
+            )
+        if len(set(schema)) != len(tuple(schema)):
+            raise DatalogError("schema attributes must be distinct")
+        self._base[name] = (tuple(schema), spanner)
+        self._compiled.pop(name, None)
+
+    def rule(
+        self,
+        head: str,
+        head_variables: Sequence[Variable],
+        body: Sequence[Atom],
+    ) -> None:
+        """Add a rule ``head(head_variables) :- body``."""
+        if head in self._base:
+            raise DatalogError(f"{head!r} is a base predicate")
+        if not body:
+            raise DatalogError("rules need a non-empty body")
+        positive = [a for a in body if not a.negated]
+        if not positive:
+            raise DatalogError("rules need at least one positive atom")
+        positive_vars = {v for a in positive for v in a.variables}
+        for negated_atom in (a for a in body if a.negated):
+            if not set(negated_atom.variables) <= positive_vars:
+                raise DatalogError(
+                    "unsafe negation: variables of a negated atom must "
+                    "occur in a positive atom"
+                )
+        if not set(head_variables) <= positive_vars:
+            raise DatalogError("head variables must occur in the body")
+        if len(set(head_variables)) != len(tuple(head_variables)):
+            raise DatalogError("head attributes must be distinct")
+        new_rule = Rule(head, tuple(head_variables), tuple(body))
+        self._rules.setdefault(head, []).append(new_rule)
+        self._compiled.clear()
+
+    def schema(self, predicate: str) -> Tuple[Variable, ...]:
+        if predicate in self._base:
+            return self._base[predicate][0]
+        if predicate in self._rules:
+            return self._rules[predicate][0].head_variables
+        raise DatalogError(f"unknown predicate {predicate!r}")
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+
+    def compile(self, predicate: str) -> VSetAutomaton:
+        """The VSet-automaton for ``predicate`` (bottom-up, memoized)."""
+        return self._compile(predicate, stack=())
+
+    def evaluate(self, predicate: str, document: str):
+        """Evaluate ``predicate`` on a document."""
+        return self.compile(predicate).evaluate(document)
+
+    def _compile(self, predicate: str, stack: Tuple[str, ...]):
+        if predicate in self._compiled:
+            return self._compiled[predicate]
+        if predicate in stack:
+            cycle = " -> ".join(stack + (predicate,))
+            raise DatalogError(f"recursive program: {cycle}")
+        if predicate in self._base:
+            result = self._base[predicate][1]
+        elif predicate in self._rules:
+            rules = self._rules[predicate]
+            head_schema = rules[0].head_variables
+            compiled: Optional[VSetAutomaton] = None
+            for r in rules:
+                if len(r.head_variables) != len(head_schema):
+                    raise DatalogError(
+                        f"rules for {predicate!r} disagree on arity"
+                    )
+                body_spanner = self._compile_rule(r, stack + (predicate,))
+                aligned = body_spanner.rename_variables(
+                    dict(zip(r.head_variables, head_schema))
+                )
+                compiled = (aligned if compiled is None
+                            else union(compiled, aligned))
+            result = compiled
+        else:
+            raise DatalogError(f"unknown predicate {predicate!r}")
+        self._compiled[predicate] = result
+        return result
+
+    def _atom_spanner(self, a: Atom, stack) -> VSetAutomaton:
+        base = self._compile(a.predicate, stack)
+        schema = self.schema(a.predicate)
+        if len(a.variables) != len(schema):
+            raise DatalogError(
+                f"atom {a.predicate!r} expects {len(schema)} variables, "
+                f"got {len(a.variables)}"
+            )
+        # Repeated variables in an atom mean equality of attributes:
+        # realized by renaming both schema positions to the same rule
+        # variable — but renaming must be injective, so route through
+        # fresh intermediates and join.
+        binding: Dict[Variable, Variable] = {}
+        duplicates: List[Tuple[Variable, Variable]] = []
+        for position, rule_var in zip(schema, a.variables):
+            if rule_var in binding.values():
+                fresh = ("dup", a.predicate, position)
+                binding[position] = fresh
+                duplicates.append((fresh, rule_var))
+            else:
+                binding[position] = rule_var
+        spanner = base.rename_variables(binding)
+        for fresh, rule_var in duplicates:
+            # Equality via join with itself on the shared variable.
+            spanner = _equate(spanner, fresh, rule_var)
+        return spanner
+
+    def _compile_rule(self, r: Rule, stack) -> VSetAutomaton:
+        positive = [a for a in r.body if not a.negated]
+        negative = [a for a in r.body if a.negated]
+        joined: Optional[VSetAutomaton] = None
+        for a in positive:
+            spanner = self._atom_spanner(a, stack)
+            joined = spanner if joined is None else natural_join(joined,
+                                                                 spanner)
+        assert joined is not None
+        for a in negative:
+            negated_spanner = self._atom_spanner(a, stack)
+            # Safety makes the join's variable set equal to the
+            # positive part's, so the difference is union-compatible:
+            # remove every tuple that agrees with some negated match.
+            matching = natural_join(joined, negated_spanner)
+            joined = difference(joined, matching)
+        return project(joined, frozenset(r.head_variables))
+
+
+def _equate(spanner: VSetAutomaton, duplicate: Variable,
+            original: Variable) -> VSetAutomaton:
+    """Keep tuples where ``duplicate`` and ``original`` mark the same
+    span; drop the duplicate attribute.
+
+    Span equality is itself a regular spanner — nested captures select
+    identical spans — so equality is a join with
+    ``Sigma* original{duplicate{Sigma*}} Sigma*`` followed by a
+    projection.
+    """
+    from repro.automata.regex import Star
+    from repro.splitters.builders import char_class, seq
+    from repro.spanners.regex_formulas import Capture, compile_regex_formula
+
+    any_char = char_class(spanner.doc_alphabet)
+    equal_spans = compile_regex_formula(
+        seq(Star(any_char),
+            Capture(original, Capture(duplicate, Star(any_char))),
+            Star(any_char)),
+        spanner.doc_alphabet,
+    )
+    joined = natural_join(spanner, equal_spans)
+    return project(joined, spanner.variables - {duplicate})

@@ -1,0 +1,465 @@
+"""Variable-set automata (VSet-automata, Section 4.2).
+
+A VSet-automaton is an epsilon-NFA over the extended alphabet
+``Sigma + Gamma_V`` whose runs produce ref-words; the spanner it
+represents maps a document ``d`` to the tuples of all *valid* accepted
+ref-words that ``clr`` maps to ``d``.
+
+The class below wraps an :class:`repro.automata.nfa.NFA` together with
+the variable set and the document alphabet and provides:
+
+* exact evaluation on documents (:meth:`VSetAutomaton.evaluate`), with
+  the all-variables-closed collapse so runs whose remaining suffix is
+  pure language acceptance cost a table lookup instead of a search;
+* the validity filter and functionality test (Section 4.2);
+* the *canonical extended form* used for spanner containment
+  (Theorem 4.1): an NFA over block symbols ``(op-set, letter)`` in which
+  two ref-words denoting the same (document, tuple) pair collapse to
+  the same word.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.core.spans import Span, SpanTuple
+from repro.spanners.refwords import Close, Open, VarOp, gamma
+
+Variable = Hashable
+Symbol = Hashable
+
+#: Sentinel letter closing the block encoding of a ref-word.
+END_MARKER = ("end-of-document",)
+
+
+class VSetAutomaton:
+    """A document spanner represented as a VSet-automaton.
+
+    ``nfa`` must be an NFA whose alphabet is exactly
+    ``doc_alphabet | gamma(variables)``.
+    """
+
+    def __init__(
+        self,
+        doc_alphabet: Iterable[Symbol],
+        variables: Iterable[Variable],
+        nfa: NFA,
+    ) -> None:
+        self.doc_alphabet: FrozenSet[Symbol] = frozenset(doc_alphabet)
+        self.variables: FrozenSet[Variable] = frozenset(variables)
+        expected = self.doc_alphabet | gamma(self.variables)
+        if nfa.alphabet != expected:
+            raise ValueError(
+                "underlying NFA alphabet must be doc alphabet plus "
+                f"variable operations (got {set(nfa.alphabet) ^ set(expected)} "
+                "as symmetric difference)"
+            )
+        self.nfa = nfa
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_language_nfa(
+        cls, doc_alphabet: Iterable[Symbol], nfa: NFA
+    ) -> "VSetAutomaton":
+        """A Boolean (0-ary) spanner from a plain language NFA."""
+        doc_alphabet = frozenset(doc_alphabet)
+        lifted = NFA(doc_alphabet, nfa.states, nfa.initial, nfa.finals,
+                     nfa.transitions())
+        return cls(doc_alphabet, frozenset(), lifted)
+
+    @classmethod
+    def universal_spanner(
+        cls,
+        doc_alphabet: Iterable[Symbol],
+        variables: Iterable[Variable],
+    ) -> "VSetAutomaton":
+        """The spanner ``P_V`` of Lemma 5.4: every tuple on every document.
+
+        One state with self-loops on every letter and every variable
+        operation, intersected with validity at use sites.
+        """
+        doc_alphabet = frozenset(doc_alphabet)
+        variables = frozenset(variables)
+        alphabet = doc_alphabet | gamma(variables)
+        transitions = [(0, symbol, 0) for symbol in alphabet]
+        return cls(doc_alphabet, variables,
+                   NFA(alphabet, [0], 0, [0], transitions))
+
+    def svars(self) -> FrozenSet[Variable]:
+        """``SVars(A)``."""
+        return self.variables
+
+    @property
+    def arity(self) -> int:
+        return len(self.variables)
+
+    def state_count(self) -> int:
+        return len(self.nfa.states)
+
+    def __repr__(self) -> str:
+        return (
+            f"VSetAutomaton(vars={sorted(map(str, self.variables))}, "
+            f"states={len(self.nfa.states)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, document: Sequence[Symbol]) -> Set[SpanTuple]:
+        """The span relation ``A(d)``: exact enumeration of all tuples.
+
+        Configurations are ``(position, state, status)`` where status
+        tracks, per variable, whether it is unopened, open since some
+        position, or closed over a span.  As soon as every variable is
+        closed the remaining run is pure language acceptance, which is
+        answered by a precomputed suffix-acceptance table instead of
+        further search.
+        """
+        variables = sorted(self.variables, key=str)
+        n = len(document)
+        for symbol in document:
+            if symbol not in self.doc_alphabet:
+                raise ValueError(f"document symbol {symbol!r} not in alphabet")
+        finishable = self._suffix_acceptance(document)
+        var_index = {var: k for k, var in enumerate(variables)}
+        initial_status: Tuple = tuple(None for _ in variables)
+
+        def all_closed(status: Tuple) -> bool:
+            return all(isinstance(part, Span) for part in status)
+
+        results: Set[SpanTuple] = set()
+        start = (0, self.nfa.initial, initial_status)
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            pos, state, status = queue.popleft()
+            if all_closed(status):
+                if state in finishable[pos]:
+                    results.add(
+                        SpanTuple(dict(zip(variables, status)))
+                    )
+                continue
+            for symbol in self.nfa.symbols_from(state):
+                if symbol is EPSILON:
+                    for target in self.nfa.successors(state, EPSILON):
+                        config = (pos, target, status)
+                        if config not in seen:
+                            seen.add(config)
+                            queue.append(config)
+                elif isinstance(symbol, VarOp):
+                    k = var_index.get(symbol.variable)
+                    if k is None:
+                        continue
+                    part = status[k]
+                    if symbol.is_close:
+                        if not isinstance(part, int):
+                            continue
+                        new_part: object = Span(part, pos + 1)
+                    else:
+                        if part is not None:
+                            continue
+                        new_part = pos + 1
+                    new_status = status[:k] + (new_part,) + status[k + 1 :]
+                    for target in self.nfa.successors(state, symbol):
+                        config = (pos, target, new_status)
+                        if config not in seen:
+                            seen.add(config)
+                            queue.append(config)
+                elif pos < n and symbol == document[pos]:
+                    for target in self.nfa.successors(state, symbol):
+                        config = (pos + 1, target, status)
+                        if config not in seen:
+                            seen.add(config)
+                            queue.append(config)
+        return results
+
+    def _suffix_acceptance(
+        self, document: Sequence[Symbol]
+    ) -> List[FrozenSet]:
+        """``finishable[p]``: states that can accept ``document[p:]``
+        using only letters and epsilon moves (no variable operations)."""
+        n = len(document)
+        reverse_eps: Dict = {}
+        for source, symbol, target in self.nfa.transitions():
+            if symbol is EPSILON:
+                reverse_eps.setdefault(target, []).append(source)
+
+        def backward_eps_closure(states: Set) -> FrozenSet:
+            closure = set(states)
+            stack = list(states)
+            while stack:
+                state = stack.pop()
+                for prev in reverse_eps.get(state, ()):
+                    if prev not in closure:
+                        closure.add(prev)
+                        stack.append(prev)
+            return frozenset(closure)
+
+        tables: List[FrozenSet] = [frozenset()] * (n + 1)
+        tables[n] = backward_eps_closure(set(self.nfa.finals))
+        for pos in range(n - 1, -1, -1):
+            symbol = document[pos]
+            direct = {
+                state
+                for state in self.nfa.states
+                if self.nfa.successors(state, symbol) & tables[pos + 1]
+            }
+            tables[pos] = backward_eps_closure(direct)
+        return tables
+
+    def match_language(self) -> NFA:
+        """The NFA for ``L_P = {d : P(d) != {}}`` over the doc alphabet.
+
+        Variable operations are projected to epsilon after filtering to
+        valid ref-words, so acceptance coincides with non-empty output
+        (Section 7.2's minimal filter language, Lemma 7.5).
+        """
+        valid = self.valid_ref_nfa()
+        transitions = []
+        for source, symbol, target in valid.transitions():
+            if isinstance(symbol, VarOp):
+                transitions.append((source, EPSILON, target))
+            else:
+                transitions.append((source, symbol, target))
+        return NFA(
+            self.doc_alphabet, valid.states, valid.initial, valid.finals,
+            transitions,
+        ).trim()
+
+    # ------------------------------------------------------------------
+    # Validity and functionality (Section 4.2)
+    # ------------------------------------------------------------------
+
+    def _validity_tracker(self) -> "NFA":
+        """Deterministic tracker of per-variable status over ``Gamma_V``.
+
+        States are tuples of statuses in {0: unopened, 1: open,
+        2: closed}; illegal operations have no transition, and the
+        accepting state is all-closed.  Size ``3^|V|`` — the variable
+        sets in the framework are tiny.
+        """
+        variables = sorted(self.variables, key=str)
+        alphabet = self.doc_alphabet | gamma(self.variables)
+        initial = tuple(0 for _ in variables)
+        transitions = []
+        states = set()
+        queue = deque([initial])
+        states.add(initial)
+        index = {var: k for k, var in enumerate(variables)}
+        while queue:
+            status = queue.popleft()
+            for symbol in self.doc_alphabet:
+                transitions.append((status, symbol, status))
+            for k, var in enumerate(variables):
+                if status[k] == 0:
+                    nxt = status[:k] + (1,) + status[k + 1 :]
+                    transitions.append((status, Open(var), nxt))
+                elif status[k] == 1:
+                    nxt = status[:k] + (2,) + status[k + 1 :]
+                    transitions.append((status, Close(var), nxt))
+                else:
+                    continue
+                if nxt not in states:
+                    states.add(nxt)
+                    queue.append(nxt)
+        finals = {tuple(2 for _ in variables)}
+        return NFA(alphabet, states, initial, finals, transitions)
+
+    def valid_ref_nfa(self) -> NFA:
+        """The NFA accepting ``Ref(A)``: valid accepted ref-words only."""
+        return self.nfa.product(self._validity_tracker()).trim()
+
+    def is_functional(self) -> bool:
+        """Whether every accepted ref-word is valid (``R(A) = Ref(A)``)."""
+        tracker = self._validity_tracker()
+        # Make the tracker total, flip finals, and look for an accepted
+        # invalid ref-word.
+        sink = ("invalid-sink",)
+        alphabet = tracker.alphabet
+        transitions = list(tracker.transitions())
+        states = set(tracker.states) | {sink}
+        for state in tracker.states:
+            present = {
+                symbol
+                for symbol in tracker.symbols_from(state)
+                if symbol is not EPSILON
+            }
+            for symbol in alphabet - present:
+                transitions.append((state, symbol, sink))
+        for symbol in alphabet:
+            transitions.append((sink, symbol, sink))
+        complement_finals = (states - tracker.finals) | {sink}
+        invalid = NFA(alphabet, states, tracker.initial, complement_finals,
+                      transitions)
+        return self.nfa.product(invalid).is_empty()
+
+    def to_functional(self) -> "VSetAutomaton":
+        """An equivalent functional VSet-automaton (validity filter)."""
+        return VSetAutomaton(self.doc_alphabet, self.variables,
+                             self.valid_ref_nfa())
+
+    # ------------------------------------------------------------------
+    # Canonical extended form (Theorem 4.1 machinery)
+    # ------------------------------------------------------------------
+
+    def _gamma_reach(
+        self, base: NFA
+    ) -> Dict[Tuple[Hashable, FrozenSet[VarOp]], Set[Hashable]]:
+        """For each state ``p``: which states are reachable via variable
+        operations and epsilon moves, grouped by the exact op-set used.
+
+        ``base`` must already be validity-filtered, so no operation can
+        repeat along a path and the op-sets stay small.
+        """
+        reach: Dict[Tuple[Hashable, FrozenSet[VarOp]], Set[Hashable]] = {}
+        for origin in base.states:
+            seen = {(origin, frozenset())}
+            queue = deque(seen)
+            while queue:
+                state, ops = queue.popleft()
+                reach.setdefault((origin, ops), set()).add(state)
+                for symbol in base.symbols_from(state):
+                    if symbol is EPSILON:
+                        item = (state, ops)
+                        for target in base.successors(state, EPSILON):
+                            item = (target, ops)
+                            if item not in seen:
+                                seen.add(item)
+                                queue.append(item)
+                    elif isinstance(symbol, VarOp):
+                        if symbol in ops:
+                            continue
+                        new_ops = ops | {symbol}
+                        for target in base.successors(state, symbol):
+                            item = (target, new_ops)
+                            if item not in seen:
+                                seen.add(item)
+                                queue.append(item)
+        return reach
+
+    def extended_nfa(self) -> NFA:
+        """The canonical block-form NFA of the spanner.
+
+        Words are sequences ``(O_0, s_1)(O_1, s_2)...(O_{n-1}, s_n)
+        (O_n, END)`` where ``O_k`` is the set of variable operations
+        performed between letters.  Two valid ref-words denote the same
+        (document, tuple) pair iff their block encodings coincide, so
+        spanner containment is language containment of these NFAs.
+        """
+        base = self.valid_ref_nfa().trim()
+        reach = self._gamma_reach(base)
+        accept = ("ext-accept",)
+        transitions = []
+        alphabet = set()
+        for (origin, ops), mids in reach.items():
+            for mid in mids:
+                for symbol in base.symbols_from(mid):
+                    if symbol is EPSILON or isinstance(symbol, VarOp):
+                        continue
+                    label = (ops, symbol)
+                    alphabet.add(label)
+                    for target in base.successors(mid, symbol):
+                        transitions.append((origin, label, target))
+                if mid in base.finals:
+                    label = (ops, END_MARKER)
+                    alphabet.add(label)
+                    transitions.append((origin, label, accept))
+        states = set(base.states) | {accept}
+        return NFA(alphabet, states, base.initial, {accept}, transitions).trim()
+
+    # ------------------------------------------------------------------
+
+    def rename_variables(
+        self, mapping: Mapping[Variable, Variable]
+    ) -> "VSetAutomaton":
+        """Rename variables; ``mapping`` must be injective on ``V``."""
+        new_vars = {mapping.get(v, v) for v in self.variables}
+        if len(new_vars) != len(self.variables):
+            raise ValueError("variable renaming must be injective")
+
+        def rename(symbol: Symbol) -> Symbol:
+            if isinstance(symbol, VarOp) and symbol.variable in mapping:
+                return VarOp(mapping[symbol.variable], symbol.is_close)
+            return symbol
+
+        alphabet = self.doc_alphabet | gamma(new_vars)
+        transitions = [
+            (source, rename(symbol) if symbol is not EPSILON else EPSILON, target)
+            for source, symbol, target in self.nfa.transitions()
+        ]
+        nfa = NFA(alphabet, self.nfa.states, self.nfa.initial,
+                  self.nfa.finals, transitions)
+        return VSetAutomaton(self.doc_alphabet, new_vars, nfa)
+
+    def relabel(self) -> "VSetAutomaton":
+        """Rename states to small integers (see :meth:`NFA.relabel`)."""
+        return VSetAutomaton(self.doc_alphabet, self.variables,
+                             self.nfa.relabel())
+
+    def trim(self) -> "VSetAutomaton":
+        return VSetAutomaton(self.doc_alphabet, self.variables,
+                             self.nfa.trim())
+
+
+def from_extended_nfa(
+    extended: NFA,
+    doc_alphabet: Iterable[Symbol],
+    variables: Iterable[Variable],
+) -> VSetAutomaton:
+    """Rebuild a VSet-automaton from a block-form (extended) NFA.
+
+    Each block symbol ``(O, s)`` is expanded into a chain that performs
+    the operations of ``O`` in the fixed total order and then reads
+    ``s``; chains leaving the same state share prefixes (a trie), which
+    preserves determinism of the extended automaton and guarantees the
+    ordered-operations property of Section 4.2.
+    """
+    doc_alphabet = frozenset(doc_alphabet)
+    variables = frozenset(variables)
+    alphabet = doc_alphabet | gamma(variables)
+    transitions: List[Tuple] = []
+    finals: Set = set()
+    states: Set = set()
+
+    def node(state: Hashable, prefix: Tuple[VarOp, ...]) -> Hashable:
+        return state if not prefix else ("chain", state, prefix)
+
+    for source, label, target in extended.transitions():
+        if label is EPSILON:
+            transitions.append((node(source, ()), EPSILON, node(target, ())))
+            continue
+        ops, letter = label
+        sorted_ops = tuple(sorted(ops))
+        prefix: Tuple[VarOp, ...] = ()
+        for op in sorted_ops:
+            here = node(source, prefix)
+            nxt = node(source, prefix + (op,))
+            transitions.append((here, op, nxt))
+            states.update((here, nxt))
+            prefix = prefix + (op,)
+        tail = node(source, sorted_ops)
+        states.add(tail)
+        if letter == END_MARKER:
+            finals.add(tail)
+        else:
+            transitions.append((tail, letter, node(target, ())))
+            states.add(node(target, ()))
+    states.add(extended.initial)
+    nfa = NFA(alphabet, states, extended.initial, finals, transitions)
+    return VSetAutomaton(doc_alphabet, variables, nfa).trim()

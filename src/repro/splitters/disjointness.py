@@ -1,0 +1,163 @@
+"""Deciding splitter disjointness (Proposition 5.5).
+
+A splitter is *disjoint* when the spans it extracts from any document
+are pairwise disjoint (tokenizers, sentence/paragraph splitters);
+N-gram splitters for ``N > 1`` are the canonical non-disjoint example.
+
+The procedure follows the proof: simulate two runs of the splitter on
+the same document and search for a pair of *distinct, overlapping*
+output spans.  The overlap test is exact: a small monitor tracks, for
+the four boundary events (open/close of either run), whether any
+document letter was read between them, which determines the order of
+the span endpoints; the paper's formula ``i <= i' < j or i' <= i < j'``
+is then evaluated at acceptance.  The whole search is reachability
+over the product of two copies of the splitter with the monitor — the
+NL procedure of the proposition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.automata.nfa import EPSILON
+from repro.core.composition import splitter_variable
+from repro.spanners.refwords import VarOp
+from repro.spanners.vset_automaton import VSetAutomaton
+
+# Events: run 1 opens/closes, run 2 opens/closes.
+_O1, _C1, _O2, _C2 = "o1", "c1", "o2", "c2"
+
+# Comparisons needed to evaluate equality and overlap of the two spans
+# [i1, j1> and [i2, j2>: each maps to a pair of boundary events.
+_NEEDED = {
+    ("i1", "i2"): (_O1, _O2),
+    ("j1", "j2"): (_C1, _C2),
+    ("i1", "j2"): (_O1, _C2),
+    ("i2", "j1"): (_O2, _C1),
+}
+
+
+class _Monitor:
+    """Immutable monitor state: run phases plus endpoint comparisons.
+
+    ``phases`` are 0 (not opened), 1 (open), 2 (closed) per run.
+    ``fresh`` is the set of events fired since the last letter was
+    read; firing an event ``e`` resolves its comparison against every
+    already-fired event ``f`` as ``=`` when ``f`` is fresh and ``<``
+    (``f`` strictly earlier) otherwise.
+    """
+
+    __slots__ = ("phase1", "phase2", "fresh", "cmp")
+
+    def __init__(self, phase1: int, phase2: int,
+                 fresh: FrozenSet[str], cmp: Tuple) -> None:
+        self.phase1 = phase1
+        self.phase2 = phase2
+        self.fresh = fresh
+        self.cmp = cmp
+
+    def key(self) -> Tuple:
+        return (self.phase1, self.phase2, self.fresh, self.cmp)
+
+    def read_letter(self) -> "_Monitor":
+        return _Monitor(self.phase1, self.phase2, frozenset(), self.cmp)
+
+    def fire(self, event: str) -> "_Monitor":
+        fired = {_O1: self.phase1 >= 1, _C1: self.phase1 >= 2,
+                 _O2: self.phase2 >= 1, _C2: self.phase2 >= 2}
+        cmp_map: Dict[Tuple[str, str], str] = dict(self.cmp)
+        for pair, (first, second) in _NEEDED.items():
+            if second == event and fired[first]:
+                cmp_map[pair] = "=" if first in self.fresh else "<"
+            elif first == event and fired[second]:
+                cmp_map[pair] = "=" if second in self.fresh else ">"
+        phase1, phase2 = self.phase1, self.phase2
+        if event == _O1:
+            phase1 = 1
+        elif event == _C1:
+            phase1 = 2
+        elif event == _O2:
+            phase2 = 1
+        elif event == _C2:
+            phase2 = 2
+        return _Monitor(phase1, phase2, self.fresh | {event},
+                        tuple(sorted(cmp_map.items())))
+
+    def verdict(self) -> Optional[bool]:
+        """Once both spans are closed: do they overlap while distinct?"""
+        if self.phase1 != 2 or self.phase2 != 2:
+            return None
+        cmp_map = dict(self.cmp)
+        equal = cmp_map[("i1", "i2")] == "=" and cmp_map[("j1", "j2")] == "="
+        # i1 <= i2 < j1  or  i2 <= i1 < j2  (paper's overlap formula).
+        first = cmp_map[("i1", "i2")] in ("<", "=") and \
+            cmp_map[("i2", "j1")] == "<"
+        second = cmp_map[("i1", "i2")] in (">", "=") and \
+            cmp_map[("i1", "j2")] == "<"
+        return (first or second) and not equal
+
+
+def is_disjoint(splitter: VSetAutomaton) -> bool:
+    """Proposition 5.5: decide whether a splitter is disjoint."""
+    return overlap_witness(splitter) is None
+
+
+def overlap_witness_exists(splitter: VSetAutomaton) -> bool:
+    """Whether some document yields two distinct overlapping spans."""
+    return overlap_witness(splitter) is not None
+
+
+def overlap_witness(splitter: VSetAutomaton):
+    """A shortest document with two distinct overlapping spans.
+
+    Returns ``None`` for disjoint splitters, otherwise a document (as
+    a string when all symbols are single characters, else a tuple);
+    the planner surfaces it in debugging reports.
+    """
+    x = splitter_variable(splitter)
+    open_x, close_x = VarOp(x, False), VarOp(x, True)
+    nfa = splitter.nfa
+    start_monitor = _Monitor(0, 0, frozenset(), ())
+    start = (nfa.initial, nfa.initial, start_monitor.key())
+    seen = {start}
+    queue = deque([(nfa.initial, nfa.initial, start_monitor, ())])
+    while queue:
+        q1, q2, monitor, word = queue.popleft()
+        if (
+            q1 in nfa.finals
+            and q2 in nfa.finals
+            and monitor.verdict() is True
+        ):
+            try:
+                return "".join(word)
+            except TypeError:
+                return word
+        moves = []
+        for q1b in nfa.successors(q1, EPSILON):
+            moves.append((q1b, q2, monitor, word))
+        for q2b in nfa.successors(q2, EPSILON):
+            moves.append((q1, q2b, monitor, word))
+        if monitor.phase1 == 0:
+            for q1b in nfa.successors(q1, open_x):
+                moves.append((q1b, q2, monitor.fire(_O1), word))
+        if monitor.phase1 == 1:
+            for q1b in nfa.successors(q1, close_x):
+                moves.append((q1b, q2, monitor.fire(_C1), word))
+        if monitor.phase2 == 0:
+            for q2b in nfa.successors(q2, open_x):
+                moves.append((q1, q2b, monitor.fire(_O2), word))
+        if monitor.phase2 == 1:
+            for q2b in nfa.successors(q2, close_x):
+                moves.append((q1, q2b, monitor.fire(_C2), word))
+        for symbol in splitter.doc_alphabet:
+            for q1b in nfa.successors(q1, symbol):
+                for q2b in nfa.successors(q2, symbol):
+                    moves.append((q1b, q2b, monitor.read_letter(),
+                                  word + (symbol,)))
+        for q1b, q2b, monitor_b, word_b in moves:
+            config = (q1b, q2b, monitor_b.key())
+            if config not in seen:
+                seen.add(config)
+                queue.append((q1b, q2b, monitor_b, word_b))
+    return None

@@ -1,0 +1,207 @@
+"""Brute-force reference semantics for the test-suite.
+
+Two independent ground truths:
+
+* :func:`ref_eval` -- a *compositional* evaluator for regex formulas,
+  implemented directly from the inductive definition of their
+  ref-word languages, with no automata involved.  Cross-checking it
+  against ``VSetAutomaton.evaluate`` validates the whole compilation
+  and evaluation pipeline.
+* :func:`documents_upto` plus the semantic deciders below -- exhaustive
+  checks of split-correctness/splittability statements on all
+  documents up to a bounded length.  A decision procedure that agrees
+  with the bounded check on many instances and alphabets is unlikely
+  to be wrong in a way the instances exercise.
+"""
+
+from __future__ import annotations
+
+from itertools import product as iproduct
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Set
+
+from repro.automata.regex import (
+    AnySymbol,
+    Concat,
+    Empty,
+    Epsilon,
+    Literal,
+    RegexNode,
+    Star,
+    Union_,
+)
+from repro.core.spans import Span, SpanTuple
+from repro.spanners.regex_formulas import Capture, svars
+from repro.spanners.vset_automaton import VSetAutomaton
+
+
+def documents_upto(alphabet: Iterable[str], max_length: int) -> Iterator[str]:
+    """All documents over ``alphabet`` of length at most ``max_length``."""
+    letters = sorted(set(alphabet))
+    for length in range(max_length + 1):
+        for combo in iproduct(letters, repeat=length):
+            yield "".join(combo)
+
+
+# ----------------------------------------------------------------------
+# Compositional regex-formula evaluation
+# ----------------------------------------------------------------------
+
+def _match_sets(
+    node: RegexNode, document: str, alphabet: FrozenSet[str]
+) -> Dict:
+    """``result[(i, j)]`` = set of frozen var->span dicts for matches of
+    ``node`` against ``document[i:j]`` (0-based slice indices)."""
+    n = len(document)
+    out: Dict = {}
+
+    def spans_pairs():
+        for i in range(n + 1):
+            for j in range(i, n + 1):
+                yield i, j
+
+    if isinstance(node, Empty):
+        return {}
+    if isinstance(node, Epsilon):
+        return {(i, i): {frozenset()} for i in range(n + 1)}
+    if isinstance(node, Literal):
+        return {
+            (i, i + 1): {frozenset()}
+            for i in range(n)
+            if document[i] == node.symbol
+        }
+    if isinstance(node, AnySymbol):
+        return {(i, i + 1): {frozenset()} for i in range(n)}
+    if isinstance(node, Capture):
+        inner = _match_sets(node.inner, document, alphabet)
+        for (i, j), assignments in inner.items():
+            bucket = out.setdefault((i, j), set())
+            for assignment in assignments:
+                keys = {k for k, _ in assignment}
+                if node.variable in keys:
+                    continue  # invalid: variable opened twice
+                bucket.add(
+                    assignment | {(node.variable, Span(i + 1, j + 1))}
+                )
+        return out
+    if isinstance(node, Union_):
+        left = _match_sets(node.left, document, alphabet)
+        right = _match_sets(node.right, document, alphabet)
+        for source in (left, right):
+            for key, assignments in source.items():
+                out.setdefault(key, set()).update(assignments)
+        return out
+    if isinstance(node, Concat):
+        left = _match_sets(node.left, document, alphabet)
+        right = _match_sets(node.right, document, alphabet)
+        for (i, k), left_assignments in left.items():
+            for (k2, j), right_assignments in right.items():
+                if k != k2:
+                    continue
+                bucket = out.setdefault((i, j), set())
+                for la in left_assignments:
+                    left_vars = {v for v, _ in la}
+                    for ra in right_assignments:
+                        if left_vars & {v for v, _ in ra}:
+                            continue  # invalid: duplicated variable
+                        bucket.add(la | ra)
+        return out
+    if isinstance(node, Star):
+        if svars(node.inner):
+            raise NotImplementedError(
+                "reference evaluator only supports variable-free star "
+                "bodies (others are non-functional)"
+            )
+        inner = _match_sets(node.inner, document, alphabet)
+        # Reachability: can document[i:j] be tiled by inner matches?
+        reach = {i: {i} for i in range(n + 1)}
+        for i in range(n + 1):
+            frontier = [i]
+            while frontier:
+                k = frontier.pop()
+                for (a, b) in inner:
+                    if a == k and b not in reach[i]:
+                        reach[i].add(b)
+                        frontier.append(b)
+        for i in range(n + 1):
+            for j in reach[i]:
+                out.setdefault((i, j), set()).add(frozenset())
+        return out
+    raise TypeError(f"unknown node {node!r}")
+
+
+def ref_eval(node: RegexNode, document: str,
+             alphabet: Optional[Iterable[str]] = None) -> Set[SpanTuple]:
+    """``[[alpha]](d)`` straight from the compositional definition.
+
+    Only *whole-document* matches count (``clr(r) = d``); partial
+    assignments (branches missing a variable) are filtered out, which
+    matches the ref-word validity requirement.
+    """
+    alphabet = frozenset(alphabet or set(document))
+    variables = svars(node)
+    matches = _match_sets(node, document, alphabet)
+    results: Set[SpanTuple] = set()
+    for assignment in matches.get((0, len(document)), ()):
+        keys = {v for v, _ in assignment}
+        if keys == set(variables):
+            results.add(SpanTuple(dict(assignment)))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Bounded-domain semantic deciders
+# ----------------------------------------------------------------------
+
+def semantically_split_correct(
+    spanner: VSetAutomaton,
+    split_spanner: VSetAutomaton,
+    splitter: VSetAutomaton,
+    max_length: int,
+) -> bool:
+    """``P = P_S o S`` checked on all documents up to ``max_length``."""
+    from repro.core.composition import compose_semantics
+
+    alphabet = spanner.doc_alphabet | splitter.doc_alphabet
+    for document in documents_upto(alphabet, max_length):
+        direct = spanner.evaluate(document)
+        composed = compose_semantics(split_spanner.evaluate, splitter,
+                                     document)
+        if direct != composed:
+            return False
+    return True
+
+
+def semantically_covered(
+    spanner: VSetAutomaton,
+    splitter: VSetAutomaton,
+    max_length: int,
+) -> bool:
+    """The cover condition checked on all bounded documents."""
+    from repro.core.composition import splits_of
+
+    alphabet = spanner.doc_alphabet | splitter.doc_alphabet
+    for document in documents_upto(alphabet, max_length):
+        tuples = spanner.evaluate(document)
+        if not tuples:
+            continue
+        spans = splits_of(splitter, document)
+        for t in tuples:
+            if not any(t.covered_by(s) for s in spans):
+                return False
+    return True
+
+
+def semantically_disjoint(
+    splitter: VSetAutomaton, max_length: int
+) -> bool:
+    """Splitter disjointness checked on all bounded documents."""
+    from repro.core.composition import splits_of
+
+    for document in documents_upto(splitter.doc_alphabet, max_length):
+        spans = sorted(splits_of(splitter, document),
+                       key=lambda s: (s.begin, s.end))
+        for i, first in enumerate(spans):
+            for second in spans[i + 1 :]:
+                if first.overlaps(second):
+                    return False
+    return True

@@ -1,0 +1,164 @@
+"""Tests for the regular spanner algebra (Appendix A)."""
+
+import pytest
+from hypothesis import given
+
+from repro.automata.regex import regex_to_nfa
+from repro.core.spans import Span, SpanTuple
+from repro.spanners.algebra import (
+    concat_language_left,
+    concat_language_right,
+    difference,
+    embed_in_context,
+    intersect,
+    natural_join,
+    open_close_wrap,
+    project,
+    restrict_to_language,
+    union,
+)
+from repro.spanners.containment import spanner_equivalent
+from repro.spanners.regex_formulas import compile_regex_formula
+from tests.conftest import formula_nodes_st
+from tests.reference import documents_upto
+
+AB = frozenset("ab")
+
+
+def brute_union(p1, p2, doc):
+    return p1.evaluate(doc) | p2.evaluate(doc)
+
+
+def brute_join(p1, p2, doc):
+    out = set()
+    for t1 in p1.evaluate(doc):
+        for t2 in p2.evaluate(doc):
+            if t1.agrees_with(t2):
+                out.add(t1.join(t2))
+    return out
+
+
+class TestUnion:
+    def test_union_semantics(self):
+        p1 = compile_regex_formula("x{a}b", AB)
+        p2 = compile_regex_formula("(a)x{b}", AB)
+        u = union(p1, p2)
+        for document in documents_upto(AB, 3):
+            assert u.evaluate(document) == brute_union(p1, p2, document)
+
+    def test_union_compatibility_required(self):
+        p1 = compile_regex_formula("x{a}", AB)
+        p2 = compile_regex_formula("y{a}", AB)
+        with pytest.raises(ValueError):
+            union(p1, p2)
+
+
+class TestProjection:
+    def test_projection_semantics(self):
+        p = compile_regex_formula(".*x{a}y{b}.*", AB)
+        projected = project(p, {"x"})
+        assert projected.variables == {"x"}
+        for document in documents_upto(AB, 3):
+            expected = {
+                SpanTuple({"x": t["x"]}) for t in p.evaluate(document)
+            }
+            assert projected.evaluate(document) == expected
+
+    def test_projection_of_invalid_runs(self):
+        # Runs invalid for dropped variables must stay excluded.
+        p = compile_regex_formula("x{a}(y{b})?", AB,
+                                  require_functional=False)
+        projected = project(p, {"x"})
+        assert projected.evaluate("a") == set()  # y never assigned
+        assert projected.evaluate("ab") == {SpanTuple({"x": Span(1, 2)})}
+
+    def test_projection_to_boolean(self):
+        p = compile_regex_formula("x{a+}", AB)
+        boolean = project(p, set())
+        assert boolean.evaluate("aa") == {SpanTuple({})}
+        assert boolean.evaluate("b") == set()
+
+
+class TestJoin:
+    def test_example_join(self):
+        p1 = compile_regex_formula(".*x{a}y{b}.*", AB)
+        p2 = compile_regex_formula(".*y{b}z{a}.*", AB)
+        joined = natural_join(p1, p2)
+        assert joined.variables == {"x", "y", "z"}
+        for document in documents_upto(AB, 4):
+            assert joined.evaluate(document) == brute_join(p1, p2, document)
+
+    def test_join_disjoint_variables_is_cross_product(self):
+        p1 = compile_regex_formula("x{a}.*", AB)
+        p2 = compile_regex_formula(".*y{b}", AB)
+        joined = natural_join(p1, p2)
+        for document in documents_upto(AB, 3):
+            assert joined.evaluate(document) == brute_join(p1, p2, document)
+
+    def test_join_same_variables_is_intersection(self):
+        p1 = compile_regex_formula(".*x{a.}.*", AB)
+        p2 = compile_regex_formula(".*x{.b}.*", AB)
+        both = intersect(p1, p2)
+        for document in documents_upto(AB, 4):
+            expected = p1.evaluate(document) & p2.evaluate(document)
+            assert both.evaluate(document) == expected
+
+    @given(formula_nodes_st(max_depth=2), formula_nodes_st(max_depth=2))
+    def test_join_matches_brute_force(self, n1, n2):
+        p1 = compile_regex_formula(n1, AB, require_functional=False)
+        p2 = compile_regex_formula(n2, AB, require_functional=False)
+        joined = natural_join(p1, p2)
+        for document in documents_upto(AB, 3):
+            assert joined.evaluate(document) == brute_join(p1, p2, document)
+
+
+class TestDifference:
+    def test_difference_semantics(self):
+        big = compile_regex_formula(".*x{a|b}.*", AB)
+        small = compile_regex_formula(".*x{a}.*", AB)
+        diff = difference(big, small)
+        only_b = compile_regex_formula(".*x{b}.*", AB)
+        assert spanner_equivalent(diff, only_b)
+
+    def test_difference_to_empty(self):
+        p = compile_regex_formula(".*x{a}.*", AB)
+        diff = difference(p, p)
+        for document in documents_upto(AB, 3):
+            assert diff.evaluate(document) == set()
+
+
+class TestConcatenation:
+    def test_lemma_a3(self):
+        p = compile_regex_formula("x{a}", AB)
+        lang = regex_to_nfa("b*", AB)
+        left = concat_language_left(lang, p)
+        assert left.evaluate("bba") == {SpanTuple({"x": Span(3, 4)})}
+        right = concat_language_right(p, lang)
+        assert right.evaluate("abb") == {SpanTuple({"x": Span(1, 2)})}
+
+    def test_embed_in_context(self):
+        p = compile_regex_formula("y{a}", AB)
+        embedded = embed_in_context(p, "x")
+        result = embedded.evaluate("bab")
+        assert result == {
+            SpanTuple({"x": Span(2, 3), "y": Span(2, 3)})
+        }
+
+    def test_open_close_wrap(self):
+        p = compile_regex_formula("y{a}b", AB)
+        wrapped = open_close_wrap(p, "x")
+        assert wrapped.evaluate("ab") == {
+            SpanTuple({"x": Span(1, 3), "y": Span(1, 2)})
+        }
+        with pytest.raises(ValueError):
+            open_close_wrap(p, "y")
+
+
+class TestRestriction:
+    def test_restrict_to_language(self):
+        p = compile_regex_formula(".*x{a}.*", AB)
+        even = regex_to_nfa("((a|b)(a|b))*", AB)
+        restricted = restrict_to_language(p, even)
+        assert restricted.evaluate("ab") == p.evaluate("ab")
+        assert restricted.evaluate("aba") == set()
+        assert p.evaluate("aba") != set()

@@ -1,0 +1,97 @@
+"""Tests for the auto-dispatching API and the CLI analyzer."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.core.api import self_splittable, split_correct, splittable
+from repro.spanners.determinism import determinize
+from repro.spanners.regex_formulas import compile_regex_formula
+from repro.splitters.builders import char_ngram_splitter, token_splitter
+
+TXT = frozenset("ab ")
+
+
+def extractor():
+    return compile_regex_formula(
+        ".*( )y{a+}( ).*|y{a+}( ).*|.*( )y{a+}|y{a+}", TXT
+    )
+
+
+class TestDispatch:
+    def test_auto_on_nondeterministic_uses_general(self):
+        assert self_splittable(extractor(), token_splitter(TXT))
+
+    def test_auto_on_dfvsa_uses_fast(self):
+        p = determinize(extractor())
+        tokens = determinize(token_splitter(TXT))
+        assert self_splittable(p, tokens)
+        assert self_splittable(p, tokens, method="fast")
+
+    def test_fast_rejects_bad_preconditions(self):
+        with pytest.raises(ValueError):
+            self_splittable(extractor(), token_splitter(TXT), method="fast")
+
+    def test_method_validation(self):
+        with pytest.raises(ValueError):
+            self_splittable(extractor(), token_splitter(TXT),
+                            method="quantum")
+
+    def test_methods_agree(self):
+        p = determinize(extractor())
+        tokens = determinize(token_splitter(TXT))
+        assert self_splittable(p, tokens, method="fast") == \
+            self_splittable(p, tokens, method="general")
+
+    def test_split_correct_dispatch(self):
+        p = extractor()
+        tokens = token_splitter(TXT)
+        assert split_correct(p, p, tokens)
+
+
+class TestSplittableTriState:
+    def test_disjoint_decided(self):
+        assert splittable(extractor(), token_splitter(TXT)) is True
+        crossing = compile_regex_formula(
+            ".*y{a a}.*|y{a a}.*|.*y{a a}|y{a a}", TXT
+        )
+        assert splittable(crossing, token_splitter(TXT)) is False
+
+    def test_non_disjoint_self_split_is_true(self):
+        ab = frozenset("ab")
+        p = compile_regex_formula(".*y{a}.*", ab)
+        two_grams = char_ngram_splitter(ab, 2,
+                                        include_short_documents=True)
+        assert splittable(p, two_grams) is True
+
+    def test_non_disjoint_unknown(self):
+        ab = frozenset("ab")
+        p = compile_regex_formula("y{a}(a|b)(a|b).*", ab)
+        two_grams = char_ngram_splitter(ab, 2)
+        assert splittable(p, two_grams) is None
+
+
+class TestCLI:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *args],
+            capture_output=True, text=True, timeout=600,
+        )
+
+    def test_analyze(self):
+        result = self._run(
+            "analyze",
+            "--pattern", ".*( )y{a+}( ).*|y{a+}( ).*|.*( )y{a+}|y{a+}",
+            "--alphabet", "ab .",
+            "--splitters", "tokens,whole",
+        )
+        assert result.returncode == 0, result.stderr
+        assert "plan: split by 'tokens'" in result.stdout
+
+    def test_analyze_bad_pattern(self):
+        result = self._run(
+            "analyze", "--pattern", "(x{a})*", "--alphabet", "ab",
+        )
+        assert result.returncode == 2
+        assert "error" in result.stderr

@@ -1,0 +1,106 @@
+"""Tests for the composition ``P o S`` (Section 3, Lemmas C.1/C.2)."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.composition import (
+    compose,
+    compose_semantics,
+    splits_of,
+    splitter_variable,
+)
+from repro.core.spans import Span, SpanTuple
+from repro.spanners.regex_formulas import compile_regex_formula
+from tests.conftest import formula_nodes_st, splitter_nodes_st
+from tests.reference import documents_upto
+
+AB = frozenset("ab")
+
+
+class TestSplitterBasics:
+    def test_splitter_variable(self):
+        splitter = compile_regex_formula("x{a*}", AB)
+        assert splitter_variable(splitter) == "x"
+
+    def test_non_unary_rejected(self):
+        binary = compile_regex_formula("x{a}y{b}", AB)
+        with pytest.raises(ValueError):
+            splitter_variable(binary)
+        boolean = compile_regex_formula("ab", AB)
+        with pytest.raises(ValueError):
+            splitter_variable(boolean)
+
+    def test_splits_of(self):
+        splitter = compile_regex_formula(".*x{.}.*", AB)
+        assert splits_of(splitter, "ab") == {Span(1, 2), Span(2, 3)}
+
+
+class TestComposeSemantics:
+    def test_ngram_email_phone_shape(self):
+        # Miniature of the Section 3 example: P finds an 'a' and a 'b'
+        # within distance 1; composing with the 2-gram splitter.
+        p = compile_regex_formula(".*e{a}p{b}.*|e{a}p{b}.*|.*e{a}p{b}|e{a}p{b}", AB)
+        two_gram = compile_regex_formula(".*x{..}.*|x{..}", AB)
+        direct = p.evaluate("abab")
+        via_split = compose_semantics(p.evaluate, two_gram, "abab")
+        assert direct == via_split  # adjacent pairs fit in a 2-gram
+
+    def test_shift_arithmetic(self):
+        p = compile_regex_formula("y{b}", AB)
+        splitter = compile_regex_formula("(a)x{b}(a)", AB)
+        result = compose_semantics(p.evaluate, splitter, "aba")
+        assert result == {SpanTuple({"y": Span(2, 3)})}
+
+
+class TestComposeAutomaton:
+    def test_matches_semantics_simple(self):
+        p = compile_regex_formula(".*y{a}.*", AB)
+        splitter = compile_regex_formula(".*x{.}.*", AB)
+        composed = compose(p, splitter)
+        for document in documents_upto(AB, 4):
+            assert composed.evaluate(document) == compose_semantics(
+                p.evaluate, splitter, document
+            )
+
+    def test_boolean_spanner_composition(self):
+        p = compile_regex_formula("a*", AB)
+        splitter = compile_regex_formula("x{a*}b.*|x{a*}", AB)
+        composed = compose(p, splitter)
+        for document in documents_upto(AB, 4):
+            assert composed.evaluate(document) == compose_semantics(
+                p.evaluate, splitter, document
+            )
+
+    def test_variable_clash_is_resolved(self):
+        # The splitter reuses P's variable name; compose renames it.
+        p = compile_regex_formula(".*x{a}.*", AB)
+        splitter = compile_regex_formula(".*x{.}.*", AB)
+        composed = compose(p, splitter)
+        assert composed.variables == {"x"}
+        for document in documents_upto(AB, 3):
+            assert composed.evaluate(document) == compose_semantics(
+                p.evaluate, splitter, document
+            )
+
+    def test_nonfunctional_splitter_is_validity_filtered(self):
+        splitter = compile_regex_formula("(x{a})*", AB,
+                                         require_functional=False)
+        p = compile_regex_formula("y{a}", AB)
+        composed = compose(p, splitter)
+        for document in documents_upto(AB, 3):
+            assert composed.evaluate(document) == compose_semantics(
+                p.evaluate, splitter, document
+            )
+
+    @given(formula_nodes_st(max_depth=2), splitter_nodes_st())
+    def test_lemma_c2_matches_semantics(self, p_node, s_node):
+        p = compile_regex_formula(p_node, AB, require_functional=False)
+        splitter = compile_regex_formula(s_node, AB,
+                                         require_functional=False)
+        if splitter.variables != {"x"}:
+            return
+        composed = compose(p, splitter)
+        for document in documents_upto(AB, 3):
+            assert composed.evaluate(document) == compose_semantics(
+                p.evaluate, splitter, document
+            ), (p_node.to_string(), s_node.to_string(), document)

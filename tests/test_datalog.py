@@ -1,0 +1,152 @@
+"""Tests for the non-recursive spanner-Datalog layer."""
+
+import pytest
+
+from repro.core.spans import Span, SpanTuple
+from repro.spanners.datalog import Atom, DatalogError, DatalogProgram, atom
+from repro.spanners.regex_formulas import compile_regex_formula
+from tests.reference import documents_upto
+
+AB = frozenset("ab")
+TXT = frozenset("ab ")
+
+
+def simple_program():
+    program = DatalogProgram(AB)
+    program.base("a_spans", ["s"], compile_regex_formula(".*s{a+}.*", AB))
+    program.base("b_follow", ["s", "t"],
+                 compile_regex_formula(".*s{a+}t{b}.*", AB))
+    return program
+
+
+class TestDeclaration:
+    def test_schema_must_match(self):
+        program = DatalogProgram(AB)
+        with pytest.raises(DatalogError):
+            program.base("p", ["x"],
+                         compile_regex_formula(".*y{a}.*", AB))
+
+    def test_duplicate_predicate_rejected(self):
+        program = simple_program()
+        with pytest.raises(DatalogError):
+            program.base("a_spans", ["s"],
+                         compile_regex_formula(".*s{a}.*", AB))
+
+    def test_head_vars_must_be_bound(self):
+        program = simple_program()
+        with pytest.raises(DatalogError):
+            program.rule("out", ["z"], [atom("a_spans", ["s"])])
+
+    def test_unsafe_negation_rejected(self):
+        program = simple_program()
+        with pytest.raises(DatalogError):
+            program.rule("out", ["s"],
+                         [atom("a_spans", ["s"]),
+                          atom("b_follow", ["s", "t"], negated=True)])
+        # Safe version is accepted.
+        program.rule("out", ["s"],
+                     [atom("a_spans", ["s"]), atom("a_spans", ["s"])])
+
+    def test_recursion_detected(self):
+        program = simple_program()
+        program.rule("p", ["s"], [atom("q", ["s"])])
+        program.rule("q", ["s"], [atom("p", ["s"])])
+        with pytest.raises(DatalogError):
+            program.compile("p")
+
+
+class TestEvaluation:
+    def test_base_passthrough(self):
+        program = simple_program()
+        assert program.evaluate("a_spans", "ab") == {
+            SpanTuple({"s": Span(1, 2)})
+        }
+
+    def test_join_rule(self):
+        # out(s) :- a_spans(s), b_follow(s, t): a-runs followed by 'b'.
+        program = simple_program()
+        program.rule("out", ["s"],
+                     [atom("a_spans", ["s"]), atom("b_follow", ["s", "t"])])
+        compiled = program.compile("out")
+        direct = compile_regex_formula(".*s{a+}(b).*", AB)
+        for document in documents_upto(AB, 4):
+            assert compiled.evaluate(document) == direct.evaluate(document)
+
+    def test_union_of_rules(self):
+        program = DatalogProgram(AB)
+        program.base("first", ["v"], compile_regex_formula("v{a}.*", AB))
+        program.base("last", ["v"], compile_regex_formula(".*v{b}", AB))
+        program.rule("edge", ["v"], [atom("first", ["v"])])
+        program.rule("edge", ["v"], [atom("last", ["v"])])
+        compiled = program.compile("edge")
+        for document in documents_upto(AB, 3):
+            expected = (program.evaluate("first", document)
+                        | program.evaluate("last", document))
+            assert compiled.evaluate(document) == expected
+
+    def test_rule_variable_renaming(self):
+        # The rule uses different variable names than the base schema.
+        program = simple_program()
+        program.rule("renamed", ["left", "right"],
+                     [atom("b_follow", ["left", "right"])])
+        result = program.evaluate("renamed", "ab")
+        assert result == {
+            SpanTuple({"left": Span(1, 2), "right": Span(2, 3)})
+        }
+
+    def test_negation(self):
+        # a-runs that are NOT followed by a 'b'.
+        program = simple_program()
+        program.base("before_b", ["s"],
+                     compile_regex_formula(".*s{a+}(b).*", AB))
+        program.rule("bare", ["s"],
+                     [atom("a_spans", ["s"]),
+                      atom("before_b", ["s"], negated=True)])
+        compiled = program.compile("bare")
+        for document in documents_upto(AB, 4):
+            expected = (program.evaluate("a_spans", document)
+                        - program.evaluate("before_b", document))
+            assert compiled.evaluate(document) == expected
+
+    def test_repeated_variable_equality(self):
+        # p(x) :- b_follow(x, x): requires s == t, impossible here
+        # since s covers a+ and t covers b.
+        program = simple_program()
+        program.rule("diag", ["x"], [atom("b_follow", ["x", "x"])])
+        compiled = program.compile("diag")
+        for document in documents_upto(AB, 3):
+            assert compiled.evaluate(document) == set()
+
+    def test_repeated_variable_with_overlap(self):
+        program = DatalogProgram(AB)
+        program.base("pair", ["u", "v"],
+                     compile_regex_formula(".*u{a}.*|.*u{v{a}}.*", AB,
+                                           require_functional=False))
+        # With the nested branch u == v is possible.
+        program.rule("same", ["u"], [atom("pair", ["u", "u"])])
+        compiled = program.compile("same")
+        assert compiled.evaluate("a") == {SpanTuple({"u": Span(1, 2)})}
+
+    def test_multi_level_program(self):
+        # IDB predicates feeding IDB predicates.
+        program = simple_program()
+        program.rule("level1", ["s"], [atom("a_spans", ["s"])])
+        program.rule("level2", ["s"],
+                     [atom("level1", ["s"]), atom("b_follow", ["s", "t"])])
+        compiled = program.compile("level2")
+        direct = compile_regex_formula(".*s{a+}(b).*", AB)
+        for document in documents_upto(AB, 4):
+            assert compiled.evaluate(document) == direct.evaluate(document)
+
+    def test_program_output_is_splittable_like_any_spanner(self):
+        # Datalog output is a VSA, so the framework procedures apply.
+        program = DatalogProgram(TXT)
+        program.base("runs", ["y"], compile_regex_formula(
+            ".*( )y{a+}( ).*|y{a+}( ).*|.*( )y{a+}|y{a+}", TXT
+        ))
+        program.rule("out", ["y"], [atom("runs", ["y"])])
+        compiled = program.compile("out")
+        from repro.core.self_splittability import is_self_splittable
+        from repro.splitters.builders import token_splitter
+
+        assert is_self_splittable(compiled, token_splitter(TXT))

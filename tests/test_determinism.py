@@ -1,0 +1,156 @@
+"""Tests for determinism notions and determinization (Section 4.2-4.3)."""
+
+import pytest
+from hypothesis import given
+
+from repro.automata.dfa import random_dfa
+from repro.automata.nfa import NFA
+from repro.core.spans import Span, SpanTuple
+from repro.spanners.containment import spanner_contains
+from repro.spanners.determinism import (
+    determinize,
+    dfvsa_contains,
+    dfvsa_equivalent,
+    is_deterministic,
+    is_dfvsa,
+    is_weakly_deterministic,
+    lexicographic_normalize,
+)
+from repro.spanners.refwords import Close, Open, gamma
+from repro.spanners.regex_formulas import compile_regex_formula
+from repro.spanners.vset_automaton import VSetAutomaton
+from repro.reductions import (
+    union_universality_instance,
+    weak_determinism_containment_instance,
+)
+from tests.conftest import formula_nodes_st
+from tests.reference import documents_upto
+
+AB = frozenset("ab")
+
+
+def weakly_det_not_det():
+    """Opens y before x (violating the fixed order) deterministically."""
+    alphabet = AB | gamma(["x", "y"])
+    transitions = [
+        (0, Open("y"), 1),
+        (1, Open("x"), 2),
+        (2, "a", 3),
+        (3, Close("x"), 4),
+        (4, Close("y"), 5),
+    ]
+    return VSetAutomaton(AB, ["x", "y"],
+                         NFA(alphabet, range(6), 0, [5], transitions))
+
+
+class TestPredicates:
+    def test_weakly_deterministic(self):
+        auto = weakly_det_not_det()
+        assert is_weakly_deterministic(auto)
+        assert not is_deterministic(auto)
+
+    def test_epsilon_breaks_weak_determinism(self):
+        spanner = compile_regex_formula("x{a}|x{b}", AB)
+        assert not is_weakly_deterministic(spanner)
+
+    def test_ordered_is_deterministic(self):
+        alphabet = AB | gamma(["x", "y"])
+        transitions = [
+            (0, Open("x"), 1),
+            (1, Open("y"), 2),
+            (2, "a", 3),
+            (3, Close("x"), 4),
+            (4, Close("y"), 5),
+        ]
+        auto = VSetAutomaton(AB, ["x", "y"],
+                             NFA(alphabet, range(6), 0, [5], transitions))
+        assert is_deterministic(auto)
+        assert is_dfvsa(auto)
+
+
+class TestDeterminization:
+    @given(formula_nodes_st())
+    def test_proposition_4_4(self, node):
+        # determinize() yields an equivalent deterministic functional VSA.
+        spanner = compile_regex_formula(node, AB, require_functional=False)
+        det = determinize(spanner)
+        assert is_deterministic(det)
+        assert det.is_functional()
+        for document in documents_upto(AB, 3):
+            assert det.evaluate(document) == spanner.evaluate(document)
+
+    def test_determinize_out_of_order_ops(self):
+        det = determinize(weakly_det_not_det())
+        assert is_dfvsa(det)
+        assert det.evaluate("a") == {
+            SpanTuple({"x": Span(1, 2), "y": Span(1, 2)})
+        }
+
+    @given(formula_nodes_st())
+    def test_lexicographic_normalize(self, node):
+        spanner = compile_regex_formula(node, AB, require_functional=False)
+        normalized = lexicographic_normalize(spanner)
+        assert normalized.is_functional()
+        for document in documents_upto(AB, 3):
+            assert normalized.evaluate(document) == spanner.evaluate(document)
+
+
+class TestDfvsaContainment:
+    def test_theorem_4_3(self):
+        small = determinize(compile_regex_formula(".*x{a}.*", AB))
+        large = determinize(compile_regex_formula(".*x{a|b}.*", AB))
+        assert dfvsa_contains(small, large)
+        assert not dfvsa_contains(large, small)
+        assert dfvsa_equivalent(large, large)
+
+    def test_preconditions_checked(self):
+        nondet = compile_regex_formula(".*x{a}.*", AB)
+        det = determinize(nondet)
+        with pytest.raises(ValueError):
+            dfvsa_contains(nondet, det)
+
+    def test_variable_sets_must_match(self):
+        left = determinize(compile_regex_formula("x{a}", AB))
+        right = determinize(compile_regex_formula("y{a}", AB))
+        with pytest.raises(ValueError):
+            dfvsa_contains(left, right)
+
+    @given(formula_nodes_st(), formula_nodes_st())
+    def test_agrees_with_general_containment(self, n1, n2):
+        from repro.spanners.regex_formulas import svars
+
+        if svars(n1) != svars(n2):
+            return
+        left = determinize(compile_regex_formula(n1, AB,
+                                                 require_functional=False))
+        right = determinize(compile_regex_formula(n2, AB,
+                                                  require_functional=False))
+        assert dfvsa_contains(left, right) == spanner_contains(left, right)
+
+
+class TestTheorem42Family:
+    """The weakly-deterministic hardness family refuting [25]'s coNP claim."""
+
+    def test_instances_are_weakly_deterministic_shaped(self):
+        dfas = [random_dfa("cd", 2, seed=1), random_dfa("cd", 2, seed=2)]
+        a, a_prime = weak_determinism_containment_instance(dfas, "cd")
+        assert a.is_functional()
+        assert a_prime.is_functional()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_reduction_correct(self, seed):
+        dfas = [random_dfa("cd", 3, seed=seed * 7 + k) for k in range(2)]
+        truth = union_universality_instance(dfas, "cd")
+        a, a_prime = weak_determinism_containment_instance(dfas, "cd")
+        assert spanner_contains(a, a_prime) == truth
+
+    def test_universal_union_contained(self):
+        # A_1 = c*, A_2 = everything-else cover Sigma*.
+        from repro.automata.regex import regex_to_nfa
+
+        cover1 = regex_to_nfa("c*", frozenset("cd")).to_dfa()
+        cover2 = regex_to_nfa("(c|d)*d(c|d)*", frozenset("cd")).to_dfa()
+        a, a_prime = weak_determinism_containment_instance(
+            [cover1, cover2], "cd"
+        )
+        assert spanner_contains(a, a_prime)

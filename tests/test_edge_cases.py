@@ -1,0 +1,156 @@
+"""Edge-case and failure-injection tests across all layers."""
+
+import pytest
+
+from repro.automata.nfa import EPSILON, NFA, empty_language_nfa
+from repro.core.composition import compose, splits_of
+from repro.core.spans import Span, SpanTuple
+from repro.spanners.determinism import determinize
+from repro.spanners.regex_formulas import compile_regex_formula
+from repro.spanners.vset_automaton import VSetAutomaton
+from repro.splitters import overlap_witness
+from repro.splitters.builders import (
+    char_ngram_splitter,
+    token_splitter,
+    whole_document_splitter,
+)
+
+AB = frozenset("ab")
+
+
+class TestEmptyThings:
+    def test_empty_document_everywhere(self):
+        spanner = compile_regex_formula("x{~}", AB)
+        assert spanner.evaluate("") == {SpanTuple({"x": Span(1, 1)})}
+        splitter = whole_document_splitter(AB)
+        assert splits_of(splitter, "") == {Span(1, 1)}
+        composed = compose(spanner, splitter)
+        assert composed.evaluate("") == {SpanTuple({"x": Span(1, 1)})}
+
+    def test_empty_language_spanner(self):
+        spanner = compile_regex_formula("!", AB)
+        assert spanner.evaluate("") == set()
+        assert spanner.evaluate("ab") == set()
+        assert spanner.match_language().is_empty()
+
+    def test_empty_language_splitter_composes_to_empty(self):
+        p = compile_regex_formula(".*y{a}.*", AB)
+        dead = compile_regex_formula("x{!}", AB, require_functional=False)
+        composed = compose(p, dead)
+        for document in ["", "a", "ab"]:
+            assert composed.evaluate(document) == set()
+
+    def test_determinize_empty_spanner(self):
+        dead = compile_regex_formula("x{a}b!", AB,
+                                     require_functional=False)
+        det = determinize(dead)
+        assert det.evaluate("ab") == set()
+
+
+class TestSplitterEdges:
+    def test_splitter_selecting_empty_spans_only(self):
+        # A splitter of empty spans: chunks are all "", so only
+        # extractors matching the empty document survive composition.
+        s = compile_regex_formula("x{~}.*", AB)
+        p_empty = compile_regex_formula("~|.*", AB)  # Boolean: always
+        composed = compose(p_empty, s)
+        assert composed.evaluate("ab") == {SpanTuple({})}
+        p_a = compile_regex_formula("a", AB)
+        composed2 = compose(p_a, s)
+        assert composed2.evaluate("ab") == set()
+
+    def test_ngram_longer_than_document(self):
+        s = char_ngram_splitter(AB, 3)
+        assert splits_of(s, "ab") == set()
+
+    def test_overlap_witness_is_minimal(self):
+        witness = overlap_witness(char_ngram_splitter(AB, 2))
+        assert witness is not None and len(witness) == 3
+
+    def test_overlap_witness_none_for_disjoint(self):
+        assert overlap_witness(token_splitter(frozenset("ab "))) is None
+
+    def test_token_splitter_pure_separators(self):
+        tokens = token_splitter(frozenset("ab "))
+        assert splits_of(tokens, "    ") == set()
+
+
+class TestAutomataEdges:
+    def test_nfa_with_unreachable_finals(self):
+        nfa = NFA(AB, [0, 1, 2], 0, [2], [(0, "a", 1)])
+        assert nfa.is_empty()
+        assert nfa.trim().is_empty()
+
+    def test_epsilon_only_acceptance(self):
+        nfa = NFA(AB, [0, 1], 0, [1], [(0, EPSILON, 1)])
+        assert nfa.accepts("")
+        assert not nfa.accepts("a")
+
+    def test_empty_language_operations(self):
+        dead = empty_language_nfa(AB)
+        assert dead.union(dead).is_empty()
+        assert dead.concatenate(dead).is_empty()
+        assert dead.star().accepts("")  # Kleene star adds epsilon
+
+    def test_product_with_disjoint_alphabets(self):
+        left = NFA(frozenset("a"), [0], 0, [0], [(0, "a", 0)])
+        right = NFA(frozenset("b"), [0], 0, [0], [(0, "b", 0)])
+        product = left.product(right)
+        assert product.accepts("")
+        assert not product.alphabet
+
+
+class TestVSAEdges:
+    def test_variable_never_used_means_empty_spanner(self):
+        # The automaton declares x but never opens it: no valid
+        # ref-word exists, so the spanner is empty.
+        from repro.spanners.refwords import gamma
+
+        alphabet = AB | gamma(["x"])
+        nfa = NFA(alphabet, [0], 0, [0], [(0, "a", 0)])
+        spanner = VSetAutomaton(AB, ["x"], nfa)
+        assert spanner.evaluate("aa") == set()
+        assert not spanner.is_functional()
+
+    def test_unused_declared_doc_symbols(self):
+        spanner = compile_regex_formula("x{a}", AB)  # 'b' never matched
+        assert spanner.evaluate("b") == set()
+
+    def test_evaluate_rejects_foreign_symbols(self):
+        spanner = compile_regex_formula("x{a}", AB)
+        with pytest.raises(ValueError):
+            spanner.evaluate("ac")
+
+    def test_overlapping_variable_regions(self):
+        # x and y interleave: x opens, y opens, x closes, y closes.
+        spanner = compile_regex_formula("x{a y{b}}c|x{a(y{b})}c", AB | {"c", " "},
+                                        require_functional=False)
+        # Simpler direct construction below.
+        from repro.spanners.refwords import Close, Open, gamma
+
+        alphabet = AB | gamma(["x", "y"])
+        transitions = [
+            (0, Open("x"), 1),
+            (1, "a", 2),
+            (2, Open("y"), 3),
+            (3, "a", 4),
+            (4, Close("x"), 5),
+            (5, "b", 6),
+            (6, Close("y"), 7),
+        ]
+        interleaved = VSetAutomaton(
+            AB, ["x", "y"], NFA(alphabet, range(8), 0, [7], transitions)
+        )
+        assert interleaved.evaluate("aab") == {
+            SpanTuple({"x": Span(1, 3), "y": Span(2, 4)})
+        }
+        det = determinize(interleaved)
+        assert det.evaluate("aab") == interleaved.evaluate("aab")
+
+    def test_large_span_tuple_count(self):
+        # Quadratically many tuples are enumerated exactly.
+        spanner = compile_regex_formula(".*x{a*}.*", AB)
+        document = "a" * 8
+        result = spanner.evaluate(document)
+        # One tuple per span [i, j> of the document: 9*10/2.
+        assert len(result) == 45

@@ -1,0 +1,133 @@
+"""Cross-cutting algebraic properties of the framework.
+
+These are invariants that no single theorem states but that the
+machinery must satisfy; hypothesis drives the instance generation and
+exhaustive bounded-document evaluation provides ground truth.
+"""
+
+from hypothesis import given
+
+from repro.core.composition import compose, compose_semantics
+from repro.core.reasoning import compose_splitters
+from repro.spanners.algebra import natural_join, project, union
+from repro.spanners.containment import spanner_equivalent
+from repro.spanners.determinism import determinize, is_deterministic
+from repro.spanners.regex_formulas import compile_regex_formula
+from tests.conftest import formula_nodes_st, splitter_nodes_st
+from tests.reference import documents_upto
+
+AB = frozenset("ab")
+
+
+def _compile(node):
+    return compile_regex_formula(node, AB, require_functional=False)
+
+
+def _splitter(node):
+    spanner = _compile(node)
+    return spanner if spanner.variables == {"x"} else None
+
+
+@given(formula_nodes_st(max_depth=2), splitter_nodes_st(),
+       splitter_nodes_st())
+def test_composition_is_associative(p_node, s1_node, s2_node):
+    """``(P o S1) o S2 == P o (S1 o S2)`` — chunk nesting composes."""
+    p = _compile(p_node)
+    s1, s2 = _splitter(s1_node), _splitter(s2_node)
+    if s1 is None or s2 is None or "x" in p.variables:
+        return
+    left = compose(compose(p, s1), s2)
+    right = compose(p, compose_splitters(s1, s2))
+    for document in documents_upto(AB, 3):
+        assert left.evaluate(document) == right.evaluate(document), (
+            p_node.to_string(), s1_node.to_string(), s2_node.to_string(),
+            document,
+        )
+
+
+@given(formula_nodes_st(max_depth=2))
+def test_determinize_is_idempotent_up_to_equivalence(node):
+    spanner = _compile(node)
+    once = determinize(spanner)
+    twice = determinize(once)
+    assert is_deterministic(once)
+    assert is_deterministic(twice)
+    assert spanner_equivalent(once, twice)
+
+
+@given(formula_nodes_st(max_depth=2), formula_nodes_st(max_depth=2))
+def test_union_is_commutative(n1, n2):
+    from repro.spanners.regex_formulas import svars
+
+    if svars(n1) != svars(n2):
+        return
+    p1, p2 = _compile(n1), _compile(n2)
+    assert spanner_equivalent(union(p1, p2), union(p2, p1))
+
+
+@given(formula_nodes_st(max_depth=2), formula_nodes_st(max_depth=2))
+def test_join_is_commutative(n1, n2):
+    p1, p2 = _compile(n1), _compile(n2)
+    left = natural_join(p1, p2)
+    right = natural_join(p2, p1)
+    for document in documents_upto(AB, 3):
+        assert left.evaluate(document) == right.evaluate(document)
+
+
+@given(formula_nodes_st(max_depth=2))
+def test_projection_composes(node):
+    spanner = _compile(node)
+    variables = sorted(spanner.variables, key=str)
+    if len(variables) < 2:
+        return
+    keep_one = {variables[0]}
+    via_two_steps = project(project(spanner, set(variables[:2])), keep_one)
+    direct = project(spanner, keep_one)
+    for document in documents_upto(AB, 3):
+        assert via_two_steps.evaluate(document) == direct.evaluate(document)
+
+
+@given(formula_nodes_st(max_depth=2), splitter_nodes_st())
+def test_composition_construction_equals_definition(p_node, s_node):
+    """Lemma C.2's automaton equals the Definition 3 semantics — the
+    foundational equality every procedure relies on."""
+    p = _compile(p_node)
+    splitter = _splitter(s_node)
+    if splitter is None or "x" in p.variables:
+        return
+    automaton = compose(p, splitter)
+    for document in documents_upto(AB, 3):
+        assert automaton.evaluate(document) == compose_semantics(
+            p.evaluate, splitter, document
+        )
+
+
+@given(splitter_nodes_st())
+def test_whole_document_composition_is_identity_on_splitters(s_node):
+    """``S o whole == S``: splitting the single whole-document chunk
+    re-derives the splitter itself."""
+    from repro.splitters.builders import whole_document_splitter
+
+    splitter = _splitter(s_node)
+    if splitter is None:
+        return
+    whole = whole_document_splitter(AB, variable="w")
+    composed = compose_splitters(splitter, whole)
+    for document in documents_upto(AB, 3):
+        assert composed.evaluate(document) == splitter.evaluate(document)
+
+
+@given(formula_nodes_st(max_depth=2))
+def test_evaluation_agrees_with_extended_roundtrip_and_determinized(node):
+    """Three pipelines, one semantics: direct evaluation, the canonical
+    extended form, and the determinized automaton."""
+    from repro.spanners.vset_automaton import from_extended_nfa
+
+    spanner = _compile(node)
+    rebuilt = from_extended_nfa(spanner.extended_nfa(), AB,
+                                spanner.variables)
+    det = determinize(spanner)
+    for document in documents_upto(AB, 3):
+        reference = spanner.evaluate(document)
+        assert rebuilt.evaluate(document) == reference
+        assert det.evaluate(document) == reference

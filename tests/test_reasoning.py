@@ -1,0 +1,137 @@
+"""Tests for splitter reasoning (Section 6)."""
+
+import pytest
+
+from repro.automata.regex import regex_to_nfa
+from repro.core.composition import compose_semantics, splits_of
+from repro.core.reasoning import (
+    compose_splitters,
+    self_split_transfers,
+    splitters_commute,
+    subsumes,
+)
+from repro.core.self_splittability import is_self_splittable
+from repro.core.spans import Span
+from repro.spanners.regex_formulas import compile_regex_formula
+from repro.splitters.builders import (
+    separator_splitter,
+    token_splitter,
+    whole_document_splitter,
+)
+
+PQ = frozenset("pq")
+PG = frozenset("pq#\n")
+
+
+class TestComposeSplitters:
+    def test_lemma_6_1(self):
+        # Sentences of paragraphs = tokens of '#'-records here.
+        records = separator_splitter(PG, "#")
+        tokens = separator_splitter(PG, {"\n", "#"})
+        composed = compose_splitters(tokens, records)
+        doc = "pp\nq#qq\np"
+        expected = compose_semantics(tokens.evaluate, records, doc)
+        assert composed.evaluate(doc) == expected
+
+    def test_composed_splits(self):
+        records = separator_splitter(PG, "#")
+        lines = separator_splitter(PG, {"\n", "#"})
+        composed = compose_splitters(lines, records)
+        assert splits_of(composed, "pp\nq#q") == {
+            Span(1, 3), Span(4, 5), Span(6, 7)
+        }
+
+
+class TestCommutativity:
+    def test_pdf_pages_paragraphs(self):
+        # The paper's PDF example: pages then paragraphs equals
+        # paragraphs then pages.
+        pages = separator_splitter(PG, "#")
+        paragraphs = separator_splitter(PG, "\n")
+        assert splitters_commute(pages, paragraphs)
+
+    def test_theorem_6_2_reduction_shape(self):
+        # S1 = #x{Sigma0*} + x{#E}, S2 = x{#Sigma0*} + #x{E}: commute
+        # iff E is universal.
+        universal = "(\\#)x{(p|q)*}|x{\\#((p|q)*)}"
+        u2 = "x{\\#(p|q)*}|(\\#)x{(p|q)*}"
+        s1 = compile_regex_formula(universal, frozenset("pq#"))
+        s2 = compile_regex_formula(u2, frozenset("pq#"))
+        assert splitters_commute(s1, s2)
+        partial1 = compile_regex_formula("(\\#)x{(p|q)*}|x{\\#(p*)}",
+                                         frozenset("pq#"))
+        partial2 = compile_regex_formula("x{\\#(p|q)*}|(\\#)x{p*}",
+                                         frozenset("pq#"))
+        assert not splitters_commute(partial1, partial2)
+
+    def test_commute_with_context(self):
+        # The Theorem 6.2 splitters with E = p* do not commute in
+        # general, but they do on '#'-free documents where both output
+        # nothing.
+        alphabet = frozenset("pq#")
+        s1 = compile_regex_formula("(\\#)x{(p|q)*}|x{\\#(p*)}", alphabet)
+        s2 = compile_regex_formula("x{\\#(p|q)*}|(\\#)x{p*}", alphabet)
+        assert not splitters_commute(s1, s2)
+        context = regex_to_nfa("(p|q)*", alphabet)
+        assert splitters_commute(s1, s2, context)
+
+
+class TestSubsumption:
+    def test_theorem_6_3_examples(self):
+        whole = whole_document_splitter(PQ)
+        everything = compile_regex_formula("x{(p|q)*}", PQ)
+        just_p = compile_regex_formula("x{p*}", PQ)
+        assert subsumes(whole, everything)
+        assert not subsumes(whole, just_p)
+
+    def test_subsumption_with_context(self):
+        whole = whole_document_splitter(PQ)
+        just_p = compile_regex_formula("x{p*}", PQ)
+        context = regex_to_nfa("p*", PQ)
+        assert subsumes(whole, just_p, context)
+
+    def test_sentence_in_paragraph(self):
+        # Re-splitting record chunks by record boundaries is a no-op.
+        records = separator_splitter(PG, "#")
+        assert subsumes(records, records)
+
+
+class TestTransitivity:
+    def test_observation_6_4(self):
+        # P = PS o S1 and S1 = S1 o S2 do NOT imply P = PS o S2.
+        from repro.core.split_correctness import split_correct_general
+
+        sigma = frozenset("ab")
+        p = compile_regex_formula(".*y{a}.*", sigma)
+        p_s = compile_regex_formula("y{a}", sigma)
+        s1 = compile_regex_formula(".*x{.}.*", sigma)
+        s2 = compile_regex_formula(".*x{..}.*|x{.}", sigma)
+        assert split_correct_general(p, p_s, s1)
+        # S1 = S1 o S2: the 1-grams of the 2-windows tile the document.
+        from repro.core.reasoning import _align
+        from repro.spanners.containment import spanner_equivalent
+
+        composed = compose_splitters(s1, s2)
+        left, right = _align(s1, composed)
+        assert spanner_equivalent(left, right)
+        assert not split_correct_general(p, p_s, s2)
+
+    def test_lemma_6_5_transfer(self):
+        alphabet = frozenset("ab \n")
+        p = compile_regex_formula(
+            ".*( |\n)y{a+}( |\n).*|y{a+}( |\n).*|.*( |\n)y{a+}|y{a+}",
+            alphabet,
+        )
+        tokens = token_splitter(alphabet)
+        lines = separator_splitter(alphabet, "\n")
+        assert self_split_transfers(p, tokens, lines)
+        assert is_self_splittable(p, lines)
+
+    def test_transfer_premise_failure_is_unknown(self):
+        alphabet = frozenset("ab \n")
+        crossing = compile_regex_formula(
+            ".*y{a a}.*|y{a a}.*|.*y{a a}|y{a a}", alphabet
+        )
+        tokens = token_splitter(alphabet)
+        lines = separator_splitter(alphabet, "\n")
+        assert not self_split_transfers(crossing, tokens, lines)

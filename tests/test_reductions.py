@@ -1,0 +1,120 @@
+"""End-to-end validation of the hardness-reduction families.
+
+Each reduction maps a source instance with *known* answer (decided
+directly on the source problem) to a framework instance; the framework
+procedure must return the same answer.
+"""
+
+import pytest
+
+from repro.automata.dfa import random_dfa
+from repro.automata.regex import regex_to_nfa
+from repro.core.cover import cover_condition_general
+from repro.core.self_splittability import is_self_splittable
+from repro.core.split_correctness import split_correct_general
+from repro.core.splittability import is_splittable
+from repro.reductions import (
+    self_splittability_instance,
+    split_correctness_instance,
+    splittability_instance,
+    union_universality_instance,
+    weak_determinism_containment_instance,
+)
+from repro.spanners.containment import spanner_contains
+from repro.spanners.determinism import is_weakly_deterministic
+
+SIGMA = ["b", "c"]
+
+
+def dfa_family(seed, count=2, states=3):
+    return [random_dfa(SIGMA, states, seed * 31 + k) for k in range(count)]
+
+
+class TestTheorem42:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reduction(self, seed):
+        dfas = dfa_family(seed)
+        truth = union_universality_instance(dfas, SIGMA)
+        a, a_prime = weak_determinism_containment_instance(dfas, SIGMA)
+        assert spanner_contains(a, a_prime) == truth
+
+    def test_left_automaton_is_weakly_deterministic(self):
+        a, _ = weak_determinism_containment_instance(dfa_family(1), SIGMA)
+        assert is_weakly_deterministic(a)
+
+    def test_three_dfas(self):
+        dfas = dfa_family(5, count=3, states=2)
+        truth = union_universality_instance(dfas, SIGMA)
+        a, a_prime = weak_determinism_containment_instance(dfas, SIGMA)
+        assert spanner_contains(a, a_prime) == truth
+
+
+class TestTheorem51:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_reduction(self, seed):
+        dfas = dfa_family(seed)
+        truth = union_universality_instance(dfas, SIGMA)
+        p, p_s, s = split_correctness_instance(dfas, SIGMA)
+        assert split_correct_general(p, p_s, s) == truth
+
+    def test_cover_variant_lemma_5_4(self):
+        for seed in range(4):
+            dfas = dfa_family(seed + 100)
+            truth = union_universality_instance(dfas, SIGMA)
+            p, _p_s, s = split_correctness_instance(dfas, SIGMA)
+            assert cover_condition_general(p, s) == truth
+
+    def test_universal_cover_pair(self):
+        covers = [
+            regex_to_nfa("b*", frozenset(SIGMA)).to_dfa(),
+            regex_to_nfa("(b|c)*c(b|c)*", frozenset(SIGMA)).to_dfa(),
+        ]
+        p, p_s, s = split_correctness_instance(covers, SIGMA)
+        assert split_correct_general(p, p_s, s)
+
+    def test_pad_symbol_clash_rejected(self):
+        with pytest.raises(ValueError):
+            split_correctness_instance(dfa_family(0), ["a", "b"])
+
+
+class TestTheorem515:
+    @pytest.mark.parametrize(
+        "r1,r2",
+        [
+            ("b*", "(b|c)*"),
+            ("(b|c)*", "b*"),
+            ("bc|cb", "b(b|c)|c(b|c)"),
+            ("(bb)*", "b*"),
+        ],
+    )
+    def test_reduction(self, r1, r2):
+        from repro.automata.containment import nfa_contains
+
+        truth = nfa_contains(
+            regex_to_nfa(r1, frozenset(SIGMA)),
+            regex_to_nfa(r2, frozenset(SIGMA)),
+        )
+        p, s = splittability_instance(r1, r2, SIGMA)
+        assert is_splittable(p, s) == truth
+
+
+class TestTheorem516Corrected:
+    @pytest.mark.parametrize(
+        "r1,r2",
+        [
+            ("b*", "b*"),
+            ("b*", "(b|c)*"),
+            ("(b|c)*", "b*"),
+            ("bc", "bc|cb"),
+            ("bc|cb", "bc|cb"),
+        ],
+    )
+    def test_equivalence_criterion(self, r1, r2):
+        from repro.automata.containment import nfa_equivalent
+
+        truth = nfa_equivalent(
+            regex_to_nfa(r1, frozenset(SIGMA)),
+            regex_to_nfa(r2, frozenset(SIGMA)),
+        )
+        p, s = self_splittability_instance(r1, r2, SIGMA)
+        assert is_self_splittable(p, s) == truth

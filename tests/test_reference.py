@@ -1,0 +1,75 @@
+"""Self-checks for the brute-force reference machinery."""
+
+import pytest
+
+from repro.core.spans import Span, SpanTuple
+from repro.spanners.regex_formulas import parse_regex_formula
+from tests.reference import (
+    documents_upto,
+    ref_eval,
+    semantically_disjoint,
+)
+
+AB = frozenset("ab")
+
+
+class TestDocumentsUpto:
+    def test_counts(self):
+        docs = list(documents_upto("ab", 2))
+        assert len(docs) == 1 + 2 + 4
+        assert "" in docs and "ab" in docs
+
+    def test_zero_length(self):
+        assert list(documents_upto("ab", 0)) == [""]
+
+
+class TestRefEval:
+    def test_literal(self):
+        node = parse_regex_formula("x{a}")
+        assert ref_eval(node, "a", AB) == {SpanTuple({"x": Span(1, 2)})}
+        assert ref_eval(node, "b", AB) == set()
+
+    def test_whole_document_constraint(self):
+        node = parse_regex_formula("x{a}")
+        # 'aa' is not fully consumed, so no match.
+        assert ref_eval(node, "aa", AB) == set()
+
+    def test_union_and_concat(self):
+        node = parse_regex_formula("x{a}b|(a)x{b}")
+        assert ref_eval(node, "ab", AB) == {
+            SpanTuple({"x": Span(1, 2)}),
+            SpanTuple({"x": Span(2, 3)}),
+        }
+
+    def test_star(self):
+        node = parse_regex_formula("x{a*}a*")
+        assert ref_eval(node, "aa", AB) == {
+            SpanTuple({"x": Span(1, 1)}),
+            SpanTuple({"x": Span(1, 2)}),
+            SpanTuple({"x": Span(1, 3)}),
+        }
+
+    def test_star_with_variables_unsupported(self):
+        node = parse_regex_formula("(x{a})*")
+        with pytest.raises(NotImplementedError):
+            ref_eval(node, "a", AB)
+
+    def test_partial_assignments_filtered(self):
+        # A branch missing a variable yields no valid ref-word.
+        node = parse_regex_formula("x{a}|b")
+        assert ref_eval(node, "b", AB) == set()
+        assert ref_eval(node, "a", AB) == {SpanTuple({"x": Span(1, 2)})}
+
+    def test_duplicate_variable_filtered(self):
+        node = parse_regex_formula("x{a}x{b}")
+        assert ref_eval(node, "ab", AB) == set()
+
+
+class TestSemanticDeciders:
+    def test_semantically_disjoint(self):
+        from repro.spanners.regex_formulas import compile_regex_formula
+
+        disjoint = compile_regex_formula("x{a*}", AB)
+        assert semantically_disjoint(disjoint, 3)
+        overlapping = compile_regex_formula(".*x{..}.*", AB)
+        assert not semantically_disjoint(overlapping, 3)

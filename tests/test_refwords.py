@@ -1,0 +1,142 @@
+"""Tests for ref-words: validity, clr, tuple extraction (Section 4)."""
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core.spans import Span, SpanTuple
+from repro.spanners.refwords import (
+    Close,
+    Open,
+    VarOp,
+    block_decomposition,
+    canonical_refword,
+    clr,
+    clr_string,
+    gamma,
+    is_valid,
+    tuple_of,
+)
+from tests.conftest import documents_st, spans_st
+
+
+class TestVarOps:
+    def test_repr(self):
+        assert repr(Open("x")) == "x|-"
+        assert repr(Close("x")) == "-|x"
+
+    def test_total_order_open_before_close(self):
+        # The fixed order requires v|- < -|v for every variable.
+        assert Open("x") < Close("x")
+        assert Open("y") < Close("y")
+
+    def test_order_is_total(self):
+        ops = [Open("x"), Close("x"), Open("y"), Close("y")]
+        ordered = sorted(ops)
+        for first, second in zip(ordered, ordered[1:]):
+            assert first < second
+
+    def test_gamma(self):
+        assert gamma(["x"]) == {Open("x"), Close("x")}
+        assert len(gamma(["x", "y"])) == 4
+
+
+class TestClr:
+    def test_clr_erases_operations(self):
+        word = ("a", Open("x"), "b", Close("x"), "c")
+        assert clr(word) == ("a", "b", "c")
+        assert clr_string(word) == "abc"
+
+    def test_clr_of_pure_document(self):
+        assert clr(tuple("abc")) == ("a", "b", "c")
+
+
+class TestValidity:
+    def test_valid_refword(self):
+        word = (Open("x"), "a", Close("x"))
+        assert is_valid(word, {"x"})
+
+    def test_missing_close_invalid(self):
+        assert not is_valid((Open("x"), "a"), {"x"})
+
+    def test_close_before_open_invalid(self):
+        assert not is_valid((Close("x"), "a", Open("x")), {"x"})
+
+    def test_double_open_invalid(self):
+        word = (Open("x"), Open("x"), Close("x"), Close("x"))
+        assert not is_valid(word, {"x"})
+
+    def test_unknown_variable_invalid(self):
+        assert not is_valid((Open("y"), Close("y")), {"x"})
+
+    def test_missing_variable_invalid(self):
+        assert not is_valid(("a",), {"x"})
+
+    def test_empty_span_at_same_position_valid(self):
+        assert is_valid((Open("x"), Close("x"), "a"), {"x"})
+
+
+class TestTupleExtraction:
+    def test_paper_factorization(self):
+        # r = a x|- b -|x  encodes x -> [2, 3>.
+        word = ("a", Open("x"), "b", Close("x"))
+        assert tuple_of(word, {"x"}) == SpanTuple({"x": Span(2, 3)})
+
+    def test_empty_span(self):
+        word = ("a", Open("x"), Close("x"), "b")
+        assert tuple_of(word, {"x"}) == SpanTuple({"x": Span(2, 2)})
+
+    def test_invalid_raises(self):
+        with pytest.raises(ValueError):
+            tuple_of((Open("x"), "a"), {"x"})
+
+    def test_two_variables(self):
+        word = (Open("x"), "a", Open("y"), Close("x"), "b", Close("y"))
+        t = tuple_of(word, {"x", "y"})
+        assert t["x"] == Span(1, 2)
+        assert t["y"] == Span(2, 3)
+
+    @given(documents_st(max_length=5), spans_st(max_position=5),
+           spans_st(max_position=5))
+    def test_canonical_roundtrip(self, document, s1, s2):
+        # canonical_refword then tuple_of is the identity on tuples.
+        n = len(document)
+        if s1.end > n + 1 or s2.end > n + 1:
+            return
+        t = SpanTuple({"x": s1, "y": s2})
+        word = canonical_refword(document, t)
+        assert clr_string(word) == document
+        assert is_valid(word, {"x", "y"})
+        assert tuple_of(word, {"x", "y"}) == t
+
+    @given(documents_st(max_length=5), spans_st(max_position=5))
+    def test_canonical_is_ordered(self, document, span):
+        if span.end > len(document) + 1:
+            return
+        word = canonical_refword(document, SpanTuple({"x": span, "y": span}))
+        previous = None
+        for symbol in word:
+            if isinstance(symbol, VarOp):
+                if previous is not None:
+                    assert previous < symbol
+                previous = symbol
+            else:
+                previous = None
+
+
+class TestBlockDecomposition:
+    def test_blocks(self):
+        word = (Open("x"), "a", Close("x"), Open("y"), Close("y"), "b")
+        blocks, letters = block_decomposition(word)
+        assert letters == ("a", "b")
+        assert blocks == (
+            frozenset({Open("x")}),
+            frozenset({Close("x"), Open("y"), Close("y")}),
+            frozenset(),
+        )
+
+    def test_same_tuple_same_blocks(self):
+        # Reordered adjacent operations produce identical blocks.
+        w1 = (Open("x"), Open("y"), "a", Close("y"), Close("x"))
+        w2 = (Open("y"), Open("x"), "a", Close("x"), Close("y"))
+        assert block_decomposition(w1) == block_decomposition(w2)

@@ -1,0 +1,218 @@
+"""Tests for the execution runtime: executor, fast paths, incremental
+evaluation, and the planner."""
+
+import random
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core.composition import splits_of
+from repro.core.spans import Span, SpanTuple
+from repro.runtime import (
+    FastFixedWindowSplitter,
+    FastSentenceSplitter,
+    FastSeparatorSplitter,
+    FastTokenNgramSplitter,
+    IncrementalExtractor,
+    Plan,
+    Planner,
+    RegexSpanner,
+    RegisteredSplitter,
+    evaluate_whole,
+    map_corpus,
+    map_corpus_sequential,
+    split_by,
+    split_by_parallel,
+)
+from repro.spanners.regex_formulas import compile_regex_formula
+from repro.splitters.builders import (
+    fixed_window_splitter,
+    sentence_splitter,
+    token_ngram_splitter,
+    token_splitter,
+)
+
+TXT = frozenset("ab .")
+
+
+def a_run_extractor():
+    return compile_regex_formula(
+        ".*(\\.| )y{a+}(\\.| ).*|y{a+}(\\.| ).*|.*(\\.| )y{a+}|y{a+}", TXT
+    )
+
+
+class TestExecutor:
+    def test_split_by_matches_whole_when_split_correct(self):
+        spanner = a_run_extractor()
+        tokens = token_splitter(TXT)
+        doc = "aa ab a aaa."
+        assert split_by(spanner, tokens, doc) == evaluate_whole(spanner, doc)
+
+    def test_parallel_matches_sequential(self):
+        spanner = a_run_extractor()
+        fast_tokens = FastSeparatorSplitter(" .")
+        doc = "aa ab a aaa. a"
+        sequential = split_by(spanner, fast_tokens, doc)
+        parallel = split_by_parallel(spanner, fast_tokens, doc, workers=3)
+        assert sequential == parallel
+
+    def test_map_corpus(self):
+        spanner = a_run_extractor()
+        docs = ["aa ab", "b aaa", "", "a"]
+        fast_tokens = FastSeparatorSplitter(" .")
+        seq_whole = map_corpus_sequential(spanner, docs)
+        seq_split = map_corpus_sequential(spanner, docs, fast_tokens)
+        par_split = map_corpus(spanner, docs, workers=2,
+                               splitter=fast_tokens)
+        assert seq_whole == seq_split == par_split
+
+    def test_empty_corpus(self):
+        spanner = a_run_extractor()
+        assert map_corpus(spanner, [], workers=2) == []
+
+
+class TestFastSplitters:
+    CASES = [
+        (FastSeparatorSplitter(" "), lambda al: token_splitter(al, {" "})),
+        (FastSentenceSplitter(), sentence_splitter),
+        (FastTokenNgramSplitter(2), lambda al: token_ngram_splitter(al, 2)),
+        (FastFixedWindowSplitter(3), lambda al: fixed_window_splitter(al, 3)),
+    ]
+
+    @pytest.mark.parametrize("fast,builder", CASES)
+    def test_agrees_with_specification(self, fast, builder):
+        rng = random.Random(42)
+        automaton = builder(TXT)
+        for _ in range(60):
+            doc = "".join(rng.choice("ab. ") for _ in
+                          range(rng.randrange(0, 14)))
+            assert set(fast.splits(doc)) == splits_of(automaton, doc), doc
+
+    @pytest.mark.parametrize("fast,builder", CASES)
+    def test_automaton_method(self, fast, builder):
+        spec = fast.automaton(TXT)
+        for doc in ["", "a", "ab a.", "a  b ."]:
+            assert set(fast.splits(doc)) == splits_of(spec, doc)
+
+    def test_chunks(self):
+        fast = FastSeparatorSplitter(" ")
+        assert fast.chunks("aa b") == ["aa", "b"]
+
+
+class TestRegexSpanner:
+    def test_matches_vsa_on_samples(self):
+        vsa = a_run_extractor()
+        fast = RegexSpanner(r"(?:^|[ .])(?P<y>a+)(?=[ .]|$)",
+                            specification=vsa)
+        rng = random.Random(7)
+        for _ in range(60):
+            doc = "".join(rng.choice("ab. ") for _ in
+                          range(rng.randrange(0, 14)))
+            assert fast.evaluate(doc) == vsa.evaluate(doc), doc
+
+    def test_requires_named_groups(self):
+        with pytest.raises(ValueError):
+            RegexSpanner(r"a+")
+
+
+class TestIncremental:
+    def test_edit_reuses_unchanged_chunks(self):
+        spanner = a_run_extractor()
+        extractor = IncrementalExtractor(spanner, FastSentenceSplitter())
+        original = "aa ab. ba aa. a b."
+        assert extractor.evaluate(original) == spanner.evaluate(original)
+        edited = "aa ab. ba ba. a b."
+        assert extractor.evaluate(edited) == spanner.evaluate(edited)
+        stats = extractor.stats()
+        assert stats["reused"] == 2   # two untouched sentences
+        assert stats["evaluated"] == 4  # 3 originals + 1 edited
+
+    def test_cache_limit(self):
+        spanner = a_run_extractor()
+        extractor = IncrementalExtractor(
+            spanner, FastSeparatorSplitter(" ."), cache_limit=2
+        )
+        extractor.evaluate("aa ab ba")
+        assert extractor.stats()["cached_chunks"] <= 2
+
+    def test_verification_rejects_unsound_pairs(self):
+        crossing = compile_regex_formula(
+            ".*y{a a}.*|y{a a}.*|.*y{a a}|y{a a}", TXT
+        )
+        with pytest.raises(ValueError):
+            IncrementalExtractor(crossing, token_splitter(TXT), verify=True)
+
+    def test_verification_accepts_sound_pairs(self):
+        spanner = a_run_extractor()
+        extractor = IncrementalExtractor(spanner, token_splitter(TXT),
+                                         verify=True)
+        doc = "aa ab"
+        assert extractor.evaluate(doc) == spanner.evaluate(doc)
+
+
+class TestPlanner:
+    def _planner(self):
+        return Planner([
+            RegisteredSplitter("tokens", token_splitter(TXT), priority=3,
+                               executor=FastSeparatorSplitter(" \n")),
+            RegisteredSplitter("sentences", sentence_splitter(TXT),
+                               priority=2, executor=FastSentenceSplitter()),
+        ])
+
+    def test_plan_prefers_finest_self_splittable(self):
+        planner = self._planner()
+        plan = planner.plan(a_run_extractor())
+        assert plan.mode == "split"
+        assert plan.splitter.name == "tokens"
+        assert plan.self_splittable
+
+    def test_plan_falls_back_to_whole(self):
+        planner = self._planner()
+        crossing = compile_regex_formula(
+            ".*y{a a}.*|y{a a}.*|.*y{a a}|y{a a}", TXT
+        )
+        plan = planner.plan(crossing)
+        assert plan.mode == "whole"
+
+    def test_plan_execution(self):
+        planner = self._planner()
+        spanner = a_run_extractor()
+        plan = planner.plan(spanner)
+        doc = "aa ab a."
+        assert plan.execute(spanner, doc) == spanner.evaluate(doc)
+
+    def test_analyse_reports(self):
+        planner = self._planner()
+        reports = planner.analyse(a_run_extractor())
+        by_name = {r.name: r for r in reports}
+        assert by_name["tokens"].self_splittable
+        assert by_name["tokens"].disjoint
+        assert by_name["tokens"].overlap_witness is None
+        assert not by_name["sentences"].self_splittable
+
+    def test_analyse_reports_overlap_witness(self):
+        from repro.splitters.builders import token_ngram_splitter
+
+        planner = Planner([
+            RegisteredSplitter("2grams", token_ngram_splitter(TXT, 2)),
+        ])
+        report = planner.analyse(a_run_extractor())[0]
+        assert not report.disjoint
+        assert report.splittable is None
+        assert report.overlap_witness is not None
+
+    def test_debugging_scenario(self):
+        # The paper's HTTP debugging story: a program crossing record
+        # boundaries is reported as not splittable by records.
+        alphabet = frozenset("Gl#")
+        from repro.splitters.builders import record_splitter
+
+        planner = Planner([
+            RegisteredSplitter("records", record_splitter(alphabet, "#"),
+                               priority=1),
+        ])
+        crossing = compile_regex_formula(".*y{l\\#G}.*", alphabet)
+        reports = planner.analyse(crossing)
+        assert not reports[0].self_splittable
+        assert reports[0].splittable is False

@@ -1,0 +1,81 @@
+"""Tests for spanner containment and equivalence (Theorem 4.1)."""
+
+from hypothesis import given
+import pytest
+
+from repro.spanners.containment import (
+    containment_witness,
+    equivalence_witness,
+    spanner_contains,
+    spanner_equivalent,
+)
+from repro.spanners.regex_formulas import compile_regex_formula, svars
+from tests.conftest import formula_nodes_st
+from tests.reference import documents_upto
+
+AB = frozenset("ab")
+
+
+def brute_contains(p1, p2, max_length=3):
+    for document in documents_upto(AB, max_length):
+        if not p1.evaluate(document) <= p2.evaluate(document):
+            return False
+    return True
+
+
+class TestContainment:
+    def test_basic(self):
+        small = compile_regex_formula(".*x{a}.*", AB)
+        large = compile_regex_formula(".*x{a|b}.*", AB)
+        assert spanner_contains(small, large)
+        assert not spanner_contains(large, small)
+
+    def test_operation_reordering_is_transparent(self):
+        # Same function, different op orders in the ref-words.
+        p1 = compile_regex_formula("x{~}y{~}ab", AB)
+        p2 = compile_regex_formula("y{~}x{~}ab", AB)
+        assert spanner_equivalent(p1, p2)
+
+    def test_variable_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            spanner_contains(
+                compile_regex_formula("x{a}", AB),
+                compile_regex_formula("y{a}", AB),
+            )
+
+    def test_witness_decoding(self):
+        small = compile_regex_formula(".*x{a}.*", AB)
+        large = compile_regex_formula(".*x{a|b}.*", AB)
+        witness = containment_witness(large, small)
+        assert witness is not None
+        document, span_tuple = witness
+        doc = "".join(document)
+        assert span_tuple in large.evaluate(doc)
+        assert span_tuple not in small.evaluate(doc)
+
+    def test_equivalence_witness_none_when_equal(self):
+        p = compile_regex_formula(".*x{ab}.*", AB)
+        assert equivalence_witness(p, p) is None
+
+    def test_nonfunctional_operands(self):
+        # Containment uses validity filtering, so non-functional
+        # automata are handled per their spanner semantics.
+        bad = compile_regex_formula("(x{a})*", AB, require_functional=False)
+        good = compile_regex_formula("x{a}", AB)
+        assert spanner_equivalent(bad, good)
+
+    @given(formula_nodes_st(max_depth=2), formula_nodes_st(max_depth=2))
+    def test_matches_brute_force(self, n1, n2):
+        if svars(n1) != svars(n2):
+            return
+        p1 = compile_regex_formula(n1, AB, require_functional=False)
+        p2 = compile_regex_formula(n2, AB, require_functional=False)
+        decided = spanner_contains(p1, p2)
+        if decided:
+            assert brute_contains(p1, p2)
+        else:
+            witness = containment_witness(p1, p2)
+            assert witness is not None
+            document, t = witness
+            doc = "".join(document)
+            assert t in p1.evaluate(doc) and t not in p2.evaluate(doc)

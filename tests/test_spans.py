@@ -1,0 +1,137 @@
+"""Unit and property tests for spans and span tuples (Section 2)."""
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core.spans import (
+    EMPTY_TUPLE,
+    Span,
+    SpanTuple,
+    all_spans,
+    whole_span,
+)
+from tests.conftest import spans_st
+
+
+class TestSpan:
+    def test_figure_1_shift(self):
+        # Figure 1 of the paper: [2,6> >> [7,13> = [8,12>.
+        assert Span(2, 6) >> Span(7, 13) == Span(8, 12)
+
+    def test_invalid_spans_rejected(self):
+        with pytest.raises(ValueError):
+            Span(0, 1)
+        with pytest.raises(ValueError):
+            Span(3, 2)
+
+    def test_empty_span_allowed(self):
+        assert Span(4, 4).length == 0
+
+    def test_extract(self):
+        assert Span(2, 4).extract("abcde") == "bc"
+        assert Span(1, 6).extract("abcde") == "abcde"
+        assert Span(3, 3).extract("abcde") == ""
+
+    def test_extract_out_of_range(self):
+        with pytest.raises(ValueError):
+            Span(2, 8).extract("abc")
+
+    def test_overlap_paper_definition(self):
+        assert Span(1, 3).overlaps(Span(2, 4))
+        assert Span(2, 4).overlaps(Span(1, 3))
+        assert not Span(1, 3).overlaps(Span(3, 5))
+        # Empty span inside a non-empty one overlaps it.
+        assert Span(1, 3).overlaps(Span(2, 2))
+        # Equal empty spans do not overlap.
+        assert not Span(2, 2).overlaps(Span(2, 2))
+        # Adjacent spans are disjoint.
+        assert Span(1, 2).disjoint(Span(2, 3))
+
+    def test_contains(self):
+        assert Span(1, 5).contains(Span(2, 3))
+        assert Span(1, 5).contains(Span(1, 5))
+        assert Span(1, 5).contains(Span(3, 3))
+        assert not Span(2, 4).contains(Span(1, 3))
+
+    def test_unshift_requires_containment(self):
+        with pytest.raises(ValueError):
+            Span(1, 3).unshift(Span(2, 5))
+
+    @given(spans_st(), spans_st())
+    def test_shift_unshift_roundtrip(self, inner, context):
+        shifted = inner.shift(context)
+        # Shifting never shrinks below the context start.
+        assert shifted.begin >= context.begin
+        if context.contains(shifted):
+            assert shifted.unshift(context) == inner
+
+    @given(spans_st(), spans_st(), spans_st())
+    def test_shift_associative(self, s1, s2, s3):
+        # The associativity used in the proof of Lemma 6.5.
+        assert (s1 >> s2) >> s3 == s1 >> (s2 >> s3)
+
+    @given(spans_st(), spans_st())
+    def test_overlap_symmetric(self, s1, s2):
+        assert s1.overlaps(s2) == s2.overlaps(s1)
+
+    def test_all_spans_count(self):
+        # |Spans(d)| = (n+1)(n+2)/2.
+        assert len(list(all_spans("abc"))) == 10
+        assert len(list(all_spans(""))) == 1
+
+    def test_whole_span(self):
+        assert whole_span("abc") == Span(1, 4)
+        assert whole_span("") == Span(1, 1)
+
+
+class TestSpanTuple:
+    def test_mapping_interface(self):
+        t = SpanTuple({"x": Span(1, 2), "y": Span(2, 4)})
+        assert t["x"] == Span(1, 2)
+        assert set(t) == {"x", "y"}
+        assert len(t) == 2
+
+    def test_equality_and_hash(self):
+        t1 = SpanTuple({"x": Span(1, 2)})
+        t2 = SpanTuple({"x": Span(1, 2)})
+        assert t1 == t2
+        assert hash(t1) == hash(t2)
+        assert len({t1, t2}) == 1
+
+    def test_shift_componentwise(self):
+        t = SpanTuple({"x": Span(1, 2), "y": Span(2, 3)})
+        shifted = t >> Span(5, 9)
+        assert shifted["x"] == Span(5, 6)
+        assert shifted["y"] == Span(6, 7)
+
+    def test_enclosing_span(self):
+        t = SpanTuple({"x": Span(2, 4), "y": Span(3, 7)})
+        assert t.enclosing_span() == Span(2, 7)
+
+    def test_empty_tuple_has_no_enclosure(self):
+        with pytest.raises(ValueError):
+            EMPTY_TUPLE.enclosing_span()
+
+    def test_covered_by(self):
+        t = SpanTuple({"x": Span(2, 4), "y": Span(3, 7)})
+        assert t.covered_by(Span(1, 7))
+        assert t.covered_by(Span(2, 7))
+        assert not t.covered_by(Span(3, 7))
+        # The 0-ary tuple is covered by anything (Definition 5.2).
+        assert EMPTY_TUPLE.covered_by(Span(5, 5))
+
+    def test_join_agreement(self):
+        t1 = SpanTuple({"x": Span(1, 2), "y": Span(2, 3)})
+        t2 = SpanTuple({"y": Span(2, 3), "z": Span(3, 4)})
+        joined = t1.join(t2)
+        assert set(joined) == {"x", "y", "z"}
+        t3 = SpanTuple({"y": Span(1, 3)})
+        assert not t1.agrees_with(t3)
+        with pytest.raises(ValueError):
+            t1.join(t3)
+
+    @given(spans_st(), spans_st())
+    def test_tuple_shift_matches_span_shift(self, inner, context):
+        t = SpanTuple({"x": inner})
+        assert (t >> context)["x"] == inner >> context

@@ -1,0 +1,146 @@
+"""Tests for the splitter library and the disjointness decision."""
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core.composition import splits_of
+from repro.core.spans import Span
+from repro.spanners.regex_formulas import compile_regex_formula
+from repro.splitters import (
+    char_ngram_splitter,
+    consecutive_sentence_pairs,
+    fixed_window_splitter,
+    is_disjoint,
+    overlap_witness_exists,
+    paragraph_splitter,
+    record_splitter,
+    sentence_splitter,
+    separator_splitter,
+    token_ngram_splitter,
+    token_splitter,
+    whole_document_splitter,
+)
+from tests.conftest import splitter_nodes_st
+from tests.reference import semantically_disjoint
+
+AB = frozenset("ab")
+TXT = frozenset("ab .")
+FULL = frozenset("ab .\n#")
+
+
+class TestBuilders:
+    def test_whole_document(self):
+        whole = whole_document_splitter(AB)
+        assert splits_of(whole, "ab") == {Span(1, 3)}
+        assert splits_of(whole, "") == {Span(1, 1)}
+
+    def test_tokens(self):
+        tokens = token_splitter(TXT)
+        assert splits_of(tokens, "ab a.") == {Span(1, 3), Span(4, 6)}
+        assert splits_of(tokens, "  ") == set()
+        assert splits_of(tokens, "a") == {Span(1, 2)}
+
+    def test_token_multi_separator(self):
+        tokens = token_splitter(FULL)
+        assert splits_of(tokens, "a\nb a") == {
+            Span(1, 2), Span(3, 4), Span(5, 6)
+        }
+
+    def test_sentences(self):
+        sentences = sentence_splitter(TXT)
+        assert splits_of(sentences, "ab a. ba.") == {Span(1, 6), Span(7, 10)}
+        # Incomplete trailing sentence is not selected.
+        assert splits_of(sentences, "ab a. ba") == {Span(1, 6)}
+        # Leading spaces are skipped.
+        assert splits_of(sentences, "  a.") == {Span(3, 5)}
+
+    def test_paragraphs_and_records(self):
+        paragraphs = paragraph_splitter(FULL)
+        assert splits_of(paragraphs, "ab\nba") == {Span(1, 3), Span(4, 6)}
+        records = record_splitter(FULL, "#")
+        assert splits_of(records, "ab#ba") == {Span(1, 3), Span(4, 6)}
+
+    def test_char_ngrams(self):
+        two = char_ngram_splitter(AB, 2)
+        assert splits_of(two, "aba") == {Span(1, 3), Span(2, 4)}
+        assert splits_of(two, "a") == set()
+        with_short = char_ngram_splitter(AB, 2, include_short_documents=True)
+        assert splits_of(with_short, "a") == {Span(1, 2)}
+        assert splits_of(with_short, "") == {Span(1, 1)}
+
+    def test_token_ngrams(self):
+        two = token_ngram_splitter(TXT, 2)
+        assert splits_of(two, "ab a. b") == {Span(1, 6), Span(4, 8)}
+        # Multiple separating spaces are included in the window.
+        assert splits_of(two, "a  b") == {Span(1, 5)}
+
+    def test_fixed_windows(self):
+        windows = fixed_window_splitter(AB, 2)
+        assert splits_of(windows, "aabab") == {
+            Span(1, 3), Span(3, 5), Span(5, 6)
+        }
+        assert splits_of(windows, "") == set()
+        assert splits_of(windows, "ab") == {Span(1, 3)}
+
+    def test_sentence_pairs(self):
+        pairs = consecutive_sentence_pairs(TXT)
+        assert splits_of(pairs, "a. b. ab.") == {Span(1, 6), Span(4, 10)}
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            char_ngram_splitter(AB, 0)
+        with pytest.raises(ValueError):
+            fixed_window_splitter(AB, 0)
+        with pytest.raises(ValueError):
+            separator_splitter(AB, "#")
+        with pytest.raises(ValueError):
+            sentence_splitter(AB)
+
+
+class TestDisjointness:
+    @pytest.mark.parametrize(
+        "splitter,expected",
+        [
+            (whole_document_splitter(AB), True),
+            (token_splitter(TXT), True),
+            (sentence_splitter(TXT), True),
+            (fixed_window_splitter(AB, 3), True),
+            (char_ngram_splitter(AB, 1), True),
+            (char_ngram_splitter(AB, 2), False),
+            (token_ngram_splitter(TXT, 2), False),
+            (consecutive_sentence_pairs(TXT), False),
+        ],
+    )
+    def test_catalogue(self, splitter, expected):
+        assert is_disjoint(splitter) == expected
+
+    def test_example_5_8_splitter_not_disjoint(self):
+        s = compile_regex_formula("x{ab}b|(a)x{bb}", AB)
+        assert not is_disjoint(s)
+
+    def test_adjacent_empty_spans_are_disjoint(self):
+        s = compile_regex_formula("x{a}|(a)x{~}", AB)
+        assert is_disjoint(s)
+
+    def test_empty_span_inside_nonempty_overlaps(self):
+        s = compile_regex_formula("x{~}(a)|x{a}", AB)
+        assert not is_disjoint(s)
+        assert overlap_witness_exists(s)
+
+    def test_identical_spans_do_not_witness(self):
+        # Two runs selecting the same span are one output.
+        s = compile_regex_formula("x{a|a}", AB)
+        assert is_disjoint(s)
+
+    @given(splitter_nodes_st())
+    def test_matches_bounded_semantics(self, node):
+        splitter = compile_regex_formula(node, AB, require_functional=False)
+        if splitter.variables != {"x"}:
+            return
+        decided = is_disjoint(splitter)
+        bounded = semantically_disjoint(splitter, 4)
+        if decided:
+            assert bounded
+        # decided == False with bounded == True can happen when the
+        # shortest overlap witness is longer than the bound.
