@@ -1,3 +1,37 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+with open("README.md", encoding="utf-8") as handle:
+    long_description = handle.read()
+
+setup(
+    name="repro-split-correctness",
+    version="1.1.0",
+    description=(
+        "Split-correctness in information extraction (PODS 2019): "
+        "document spanners, splitters, decision procedures, and a "
+        "corpus-scale extraction engine"
+    ),
+    long_description=long_description,
+    long_description_content_type="text/markdown",
+    author="repro contributors",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    extras_require={
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.__main__:main",
+        ],
+    },
+    classifiers=[
+        "Development Status :: 4 - Beta",
+        "Intended Audience :: Science/Research",
+        "License :: OSI Approved :: MIT License",
+        "Programming Language :: Python :: 3",
+        "Topic :: Scientific/Engineering :: Information Analysis",
+        "Topic :: Text Processing :: Indexing",
+    ],
+)

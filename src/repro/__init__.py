@@ -82,8 +82,9 @@ from repro.runtime import (
     split_by,
     split_by_parallel,
 )
+from repro.engine import Corpus, ExtractionEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AnnotatedSplitter",
@@ -138,4 +139,6 @@ __all__ = [
     "split_by_parallel",
     "IncrementalExtractor",
     "Planner",
+    "Corpus",
+    "ExtractionEngine",
 ]

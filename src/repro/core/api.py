@@ -11,6 +11,13 @@ pick the best applicable procedure the way a query planner would:
 
 ``method`` can force a specific procedure: ``"fast"`` (raises if the
 preconditions fail), ``"general"``, or ``"auto"`` (default).
+
+These functions answer one certification question at a time.  To
+*apply* the answers over whole corpora — certify once per program,
+deduplicate repeated chunks, fan out over workers — use the corpus
+engine, :class:`repro.engine.ExtractionEngine`, which is the preferred
+corpus-level entry point and caches the certificates these procedures
+produce (see :mod:`repro.engine.cache`).
 """
 
 from __future__ import annotations

@@ -1,0 +1,142 @@
+"""Document store with deterministic sharding and batch iteration.
+
+A :class:`Corpus` is the unit of work the extraction engine operates
+on: an ordered collection of identified documents.  Sharding assigns
+every document to one of ``n`` shards by a *content-independent,
+machine-independent* hash of its identifier (SHA-1, not Python's
+randomized ``hash``), so that a corpus distributed over ``n`` engine
+instances — the paper's Spark cluster picture — lands the same way on
+every run and every node.  Batch iteration feeds the scheduler fixed
+numbers of documents at a time, bounding peak memory regardless of
+corpus size.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Document:
+    """One identified document of a corpus."""
+
+    doc_id: str
+    text: str
+
+    def __len__(self) -> int:
+        return len(self.text)
+
+
+def shard_of(doc_id: str, num_shards: int) -> int:
+    """The shard index of ``doc_id`` among ``num_shards`` shards.
+
+    Deterministic across processes, machines and insertion orders:
+    depends only on the identifier bytes.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive")
+    digest = hashlib.sha1(doc_id.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % num_shards
+
+
+class Corpus:
+    """An ordered, identified document collection.
+
+    Iteration order is insertion order; identifiers are unique.
+    """
+
+    def __init__(self, documents: Iterable[Document] = ()) -> None:
+        self._documents: Dict[str, Document] = {}
+        for document in documents:
+            self.add(document)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_texts(
+        cls, texts: Sequence[str], prefix: str = "doc"
+    ) -> "Corpus":
+        """Identify plain texts positionally: ``doc-0000``, ..."""
+        return cls(
+            Document(f"{prefix}-{index:04d}", text)
+            for index, text in enumerate(texts)
+        )
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[str, str]) -> "Corpus":
+        return cls(Document(doc_id, text)
+                   for doc_id, text in mapping.items())
+
+    def add(self, document: Document) -> None:
+        if document.doc_id in self._documents:
+            raise ValueError(f"duplicate document id {document.doc_id!r}")
+        self._documents[document.doc_id] = document
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents.values())
+
+    def __contains__(self, doc_id: str) -> bool:
+        return doc_id in self._documents
+
+    def __getitem__(self, doc_id: str) -> Document:
+        return self._documents[doc_id]
+
+    def doc_ids(self) -> List[str]:
+        return list(self._documents)
+
+    def total_characters(self) -> int:
+        return sum(len(doc) for doc in self)
+
+    # ------------------------------------------------------------------
+    # Sharding and batching
+    # ------------------------------------------------------------------
+
+    def shard(self, num_shards: int, index: int) -> "Corpus":
+        """The sub-corpus of documents assigned to shard ``index``.
+
+        Assignment depends only on document identifiers, so the same
+        document lands in the same shard on every machine and every
+        run, and the shards partition the corpus.
+        """
+        if not 0 <= index < num_shards:
+            raise ValueError(
+                f"shard index {index} out of range for {num_shards} shards"
+            )
+        return Corpus(
+            doc for doc in self if shard_of(doc.doc_id, num_shards) == index
+        )
+
+    def shards(self, num_shards: int) -> List["Corpus"]:
+        """All ``num_shards`` shards (some possibly empty)."""
+        partition: List[Corpus] = [Corpus() for _ in range(num_shards)]
+        for doc in self:
+            partition[shard_of(doc.doc_id, num_shards)].add(doc)
+        return partition
+
+    def batches(self, batch_size: int) -> Iterator[List[Document]]:
+        """Iterate documents in insertion-ordered batches."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        batch: List[Document] = []
+        for doc in self:
+            batch.append(doc)
+            if len(batch) == batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
+    def __repr__(self) -> str:
+        return (f"Corpus({len(self)} documents, "
+                f"{self.total_characters()} characters)")

@@ -1,0 +1,355 @@
+"""The :class:`ExtractionEngine` façade: certified corpus extraction.
+
+The engine ties the subsystem together: it certifies a program against
+its splitter registry once (plan cache), splits each document with the
+certified splitter, deduplicates chunk texts corpus-wide (chunk
+cache), fans missing chunks over a worker pool (scheduler), and merges
+shifted span-tuples back per document — surfacing counters for every
+stage (stats).
+
+Typical use::
+
+    from repro.engine import Corpus, ExtractionEngine
+    engine = ExtractionEngine(registered_splitters, workers=4)
+    result = engine.run(Corpus.from_texts(texts), program)
+    result["doc-0000"]          # span tuples of the first document
+    engine.stats().snapshot()   # hit rates, certifications, throughput
+
+Results equal per-document ``evaluate_whole`` whenever the planner
+certifies a split plan (that is what the certificate *means*) and
+trivially when it falls back to whole-document evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.core.spans import Span, SpanTuple, whole_span
+from repro.runtime.executor import SpannerLike, splitter_spans
+from repro.runtime.planner import CertifiedPlan, Planner, RegisteredSplitter
+from repro.spanners.vset_automaton import VSetAutomaton
+
+from repro.engine.cache import (
+    ChunkCache,
+    PlanCache,
+    fingerprint,
+    registry_fingerprint,
+)
+from repro.engine.corpus import Corpus, Document
+from repro.engine.scheduler import Scheduler
+from repro.engine.stats import EngineStats
+
+
+@dataclass(frozen=True)
+class Program:
+    """An extraction program as the engine sees it.
+
+    ``executable`` is what runs on chunks (a VSet-automaton, a
+    :class:`repro.runtime.fast.RegexSpanner`, or any object with
+    ``evaluate``); ``specification`` is the VSet-automaton the decision
+    procedures reason over.  When the executable *is* a VSet-automaton
+    the specification defaults to it; production programs pair a fast
+    executable with a miniature specification, the same pattern the
+    benchmark workloads use.
+    """
+
+    executable: SpannerLike
+    specification: Optional[VSetAutomaton] = None
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        if self.specification is None:
+            if not isinstance(self.executable, VSetAutomaton):
+                spec = getattr(self.executable, "specification", None)
+                if not isinstance(spec, VSetAutomaton):
+                    raise ValueError(
+                        "a non-automaton executable needs an explicit "
+                        "VSet-automaton specification for certification"
+                    )
+                object.__setattr__(self, "specification", spec)
+            else:
+                object.__setattr__(self, "specification", self.executable)
+
+    def fingerprint(self) -> str:
+        """Identity for both cache levels: covers the specification
+        (what gets certified) and the executable (what runs).
+
+        Computed once per program (the inputs are frozen).
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            spec_fp = fingerprint(self.specification)
+            if self.executable is self.specification:
+                cached = spec_fp
+            else:
+                cached = f"{spec_fp}+{fingerprint(self.executable)}"
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+
+@dataclass
+class EngineResult:
+    """Per-document results of one engine run.
+
+    ``stats`` covers *this run only* (the delta it contributed to the
+    engine's cumulative counters, see
+    :meth:`repro.engine.stats.EngineStats.since`), so merging results
+    of disjoint runs sums correctly.
+    """
+
+    by_document: Dict[str, Set[SpanTuple]]
+    plan: CertifiedPlan
+    stats: EngineStats
+
+    def __getitem__(self, doc_id: str) -> Set[SpanTuple]:
+        return self.by_document[doc_id]
+
+    def __iter__(self) -> Iterator[Tuple[str, Set[SpanTuple]]]:
+        return iter(self.by_document.items())
+
+    def __len__(self) -> int:
+        return len(self.by_document)
+
+    def total_tuples(self) -> int:
+        return sum(len(tuples) for tuples in self.by_document.values())
+
+    def merge(self, other: "EngineResult") -> "EngineResult":
+        """Union of two disjoint runs (sharded execution)."""
+        overlap = self.by_document.keys() & other.by_document.keys()
+        if overlap:
+            raise ValueError(f"overlapping document ids: {sorted(overlap)}")
+        merged = dict(self.by_document)
+        merged.update(other.by_document)
+        return EngineResult(merged, self.plan, self.stats.merge(other.stats))
+
+
+CorpusLike = Union[Corpus, Sequence[str], Mapping[str, str]]
+ProgramLike = Union[Program, SpannerLike]
+
+
+def _as_corpus(corpus: CorpusLike) -> Corpus:
+    if isinstance(corpus, Corpus):
+        return corpus
+    if isinstance(corpus, Mapping):
+        return Corpus.from_mapping(corpus)
+    return Corpus.from_texts(list(corpus))
+
+
+def _as_program(program: ProgramLike) -> Program:
+    return program if isinstance(program, Program) else Program(program)
+
+
+class ExtractionEngine:
+    """Corpus-scale extraction with plan and chunk caching.
+
+    ``splitters`` is the registry the planner certifies against (same
+    objects as :class:`repro.runtime.planner.Planner`); ``workers`` and
+    ``batch_size`` configure the scheduler; ``chunk_cache_limit``
+    bounds chunk-cache memory (LRU).  Both caches persist across
+    ``run`` calls, so a long-lived engine keeps getting faster as it
+    sees more of the workload.
+    """
+
+    def __init__(
+        self,
+        splitters: Sequence[RegisteredSplitter],
+        workers: int = 0,
+        batch_size: int = 32,
+        chunk_cache_limit: Optional[int] = None,
+        plan_cache: Optional[PlanCache] = None,
+        chunk_cache: Optional[ChunkCache] = None,
+    ) -> None:
+        self.planner = Planner(splitters)
+        self.scheduler = Scheduler(workers=workers, batch_size=batch_size)
+        self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
+        self.chunk_cache = (chunk_cache if chunk_cache is not None
+                            else ChunkCache(chunk_cache_limit))
+        # The registry is immutable after construction; fingerprint once.
+        self._registry_fp = registry_fingerprint(self.planner.splitters)
+        # Per-engine counters: caches may be shared between engines, so
+        # each run attributes only its own cache-counter deltas here.
+        self._documents = 0
+        self._chunks_total = 0
+        self._extraction_seconds = 0.0
+        self._tuples_emitted = 0
+        self._chunk_hits = 0
+        self._chunk_misses = 0
+        self._chunk_evictions = 0
+        self._plan_hits = 0
+        self._certifications = 0
+        self._certification_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def certify(self, program: ProgramLike) -> CertifiedPlan:
+        """The (cached) certificate for ``program``.
+
+        The decision procedures run at most once per (program,
+        registry) pair for the lifetime of the plan cache.
+        """
+        program = _as_program(program)
+        cache = self.plan_cache
+        before = (cache.hits, cache.misses, cache.certification_seconds)
+        certified = cache.get(
+            self.planner, program.specification,
+            spanner_fp=program.fingerprint(),
+            registry_fp=self._registry_fp,
+        )
+        self._plan_hits += cache.hits - before[0]
+        self._certifications += cache.misses - before[1]
+        self._certification_seconds += (cache.certification_seconds
+                                        - before[2])
+        return certified
+
+    @staticmethod
+    def _runner_for(
+        certified: CertifiedPlan, program: Program
+    ) -> SpannerLike:
+        """What evaluates chunks under this certificate."""
+        plan = certified.plan
+        if plan.mode != "whole" and plan.split_spanner is not None:
+            return plan.split_spanner
+        return program.executable
+
+    @staticmethod
+    def _chunks_of(
+        certified: CertifiedPlan, document: Document
+    ) -> List[Tuple[Span, str]]:
+        """The ``(span, text)`` chunks of one document under the plan."""
+        plan = certified.plan
+        if plan.mode == "whole" or plan.splitter is None:
+            # No certified splitter: the whole document is one chunk —
+            # the chunk cache still deduplicates identical documents.
+            return [(whole_span(document.text), document.text)]
+        target = plan.splitter.runtime_splitter()
+        return [
+            (span, span.extract(document.text))
+            for span in splitter_spans(target, document.text)
+        ]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        corpus: CorpusLike,
+        program: ProgramLike,
+    ) -> EngineResult:
+        """Extract ``program`` over ``corpus``; results per document."""
+        corpus = _as_corpus(corpus)
+        program = _as_program(program)
+        before = self.stats()
+        certified = self.certify(program)
+        runner = self._runner_for(certified, program)
+        # Chunk results depend on the *runner*, which the certificate
+        # determines — namespace the chunk cache by certificate (it
+        # covers program and registry), not by program alone.
+        chunk_namespace = certified.fingerprint or program.fingerprint()
+
+        start = time.perf_counter()
+        cache = self.chunk_cache
+        cache_before = (cache.hits, cache.misses, cache.evictions)
+        by_document: Dict[str, Set[SpanTuple]] = {}
+        for batch in corpus.batches(max(1, self.scheduler.batch_size)):
+            tasks = []
+            for document in batch:
+                chunks = self._chunks_of(certified, document)
+                tasks.append((document.doc_id, chunks))
+                self._chunks_total += len(chunks)
+            by_document.update(
+                self.scheduler.run(runner, tasks, cache, chunk_namespace)
+            )
+        self._chunk_hits += cache.hits - cache_before[0]
+        self._chunk_misses += cache.misses - cache_before[1]
+        self._chunk_evictions += cache.evictions - cache_before[2]
+        self._extraction_seconds += time.perf_counter() - start
+        self._documents += len(corpus)
+        self._tuples_emitted += sum(
+            len(tuples) for tuples in by_document.values()
+        )
+        return EngineResult(by_document, certified,
+                            self.stats().since(before))
+
+    def run_sharded(
+        self,
+        corpus: CorpusLike,
+        program: ProgramLike,
+        num_shards: int,
+    ) -> EngineResult:
+        """Process each shard in turn and merge the results.
+
+        Shard assignment is deterministic (see
+        :func:`repro.engine.corpus.shard_of`), so a cluster of engines
+        running ``shard(i)`` each would partition the corpus exactly
+        like this sequential loop does.
+        """
+        corpus = _as_corpus(corpus)
+        before = self.stats()
+        merged: Dict[str, Set[SpanTuple]] = {}
+        certified: Optional[CertifiedPlan] = None
+        for shard in corpus.shards(num_shards):
+            result = self.run(shard, program)
+            merged.update(result.by_document)
+            certified = result.plan
+        if certified is None:  # num_shards >= 1 always yields shards
+            certified = self.certify(program)
+        return EngineResult(merged, certified, self.stats().since(before))
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the scheduler's worker pool (idempotent).
+
+        Caches survive ``close``; only the process pool is released.
+        Engines are also usable as context managers.
+        """
+        self.scheduler.close()
+
+    def __enter__(self) -> "ExtractionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> EngineStats:
+        """Cumulative counters across this engine's lifetime.
+
+        Counters cover only *this engine's* activity even when the
+        caches are shared between engines; ``chunk_cache_size`` is a
+        gauge of the (possibly shared) cache's current contents.
+        """
+        return EngineStats(
+            documents=self._documents,
+            chunks_total=self._chunks_total,
+            chunks_evaluated=self._chunk_misses,
+            chunk_cache_hits=self._chunk_hits,
+            chunk_cache_misses=self._chunk_misses,
+            chunk_cache_size=len(self.chunk_cache),
+            chunk_cache_evictions=self._chunk_evictions,
+            plan_cache_hits=self._plan_hits,
+            certifications=self._certifications,
+            certification_seconds=self._certification_seconds,
+            extraction_seconds=self._extraction_seconds,
+            tuples_emitted=self._tuples_emitted,
+        )

@@ -1,0 +1,161 @@
+"""Work-queue scheduling of chunk batches over a process pool.
+
+The scheduler receives per-document chunk lists, consults the chunk
+cache, fans the *missing* texts out over a worker pool in configurable
+batches, and merges the shifted span-tuples back per document — the
+engine-side realization of ``P = P_S o S``: once certified, chunks are
+context-free units of work that can be executed anywhere, in any
+order, and shared between documents.
+
+``workers <= 1`` degrades to in-process sequential evaluation (no pool
+overhead), which is also the configuration benchmarks use to isolate
+caching effects from parallelism.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.spans import Span, SpanTuple
+from repro.runtime.executor import (
+    SpannerLike,
+    _init_worker,
+    evaluate_texts_parallel,
+)
+
+from repro.engine.cache import ChunkCache
+
+#: One document's worth of chunk work: ``(doc_id, [(span, text), ...])``.
+DocumentChunks = Tuple[str, Sequence[Tuple[Span, str]]]
+
+
+@dataclass
+class ScheduledBatch:
+    """What one scheduler pass did (returned for stats/inspection)."""
+
+    documents: int
+    chunk_instances: int
+    unique_missing: int
+
+
+class Scheduler:
+    """Fan unique chunk texts over a pool; merge results per document.
+
+    ``workers`` is the process-pool size (``0``/``1`` = run in
+    process).  ``batch_size`` is how many *documents* the engine feeds
+    per scheduler pass — it bounds peak memory and sets the in-pass
+    dedup granularity; the pool task chunksize is derived per pass in
+    :meth:`_evaluate_missing` (several waves per worker, the paper's
+    scheduling-granularity effect for skewed chunk costs).
+    """
+
+    def __init__(self, workers: int = 0, batch_size: int = 32) -> None:
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.workers = workers
+        self.batch_size = batch_size
+        self.last_batch: ScheduledBatch = ScheduledBatch(0, 0, 0)
+        self._pool: Optional[multiprocessing.pool.Pool] = None
+        self._pool_runner: Optional[SpannerLike] = None
+
+    # ------------------------------------------------------------------
+
+    def _pool_for(self, runner: SpannerLike) -> "multiprocessing.pool.Pool":
+        """A persistent pool initialized with ``runner``.
+
+        Reused across document batches (and runs) as long as the
+        runner object is the same, so one corpus run pays pool startup
+        and spanner shipping once, not once per batch.
+        """
+        if self._pool is not None and self._pool_runner is runner:
+            return self._pool
+        self.close()
+        self._pool = multiprocessing.Pool(
+            processes=self.workers, initializer=_init_worker,
+            initargs=(runner,),
+        )
+        self._pool_runner = runner
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._pool_runner = None
+
+    def __del__(self) -> None:  # best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _evaluate_missing(
+        self,
+        runner: SpannerLike,
+        texts: Sequence[str],
+    ) -> List[Set[SpanTuple]]:
+        if self.workers > 1 and texts:
+            # Aim for several waves per worker (load balance for skewed
+            # chunk costs) without one-text-per-IPC overhead.
+            chunksize = max(1, len(texts) // (self.workers * 4))
+            return evaluate_texts_parallel(
+                runner, texts, chunksize=chunksize,
+                pool=self._pool_for(runner),
+            )
+        return [set(runner.evaluate(text)) for text in texts]
+
+    def run(
+        self,
+        runner: SpannerLike,
+        documents: Sequence[DocumentChunks],
+        cache: ChunkCache,
+        namespace: str,
+    ) -> Dict[str, Set[SpanTuple]]:
+        """Evaluate every document's chunks, deduplicated via ``cache``.
+
+        Returns ``doc_id -> set of (shifted) span tuples``.  Each
+        distinct chunk text missing from the cache is evaluated exactly
+        once — even when it repeats within this batch — and stored for
+        future batches and future runs.
+        """
+        # Pass 1: consult the cache; collect distinct missing texts in
+        # first-seen order (deterministic scheduling).  A text repeated
+        # within this batch counts as a hit from its second instance on:
+        # those instances are served without evaluation.
+        seen: Dict[str, object] = {}
+        missing: List[str] = []
+        chunk_instances = 0
+        for _doc_id, chunks in documents:
+            for _span, text in chunks:
+                chunk_instances += 1
+                if text in seen:
+                    cache.record_batch_hit()
+                    continue
+                cached = cache.lookup(namespace, text)
+                seen[text] = cached
+                if cached is None:
+                    missing.append(text)
+
+        # Pass 2: fan the missing texts out (batched over the pool).
+        for text, results in zip(
+            missing, self._evaluate_missing(runner, missing)
+        ):
+            seen[text] = cache.store(namespace, text, results)
+
+        # Pass 3: merge shifted tuples back per document.
+        resolved: Dict[str, Set[SpanTuple]] = {}
+        for doc_id, chunks in documents:
+            merged: Set[SpanTuple] = resolved.setdefault(doc_id, set())
+            for span, text in chunks:
+                merged.update(t.shift(span) for t in seen[text])
+
+        self.last_batch = ScheduledBatch(
+            len(documents), chunk_instances, len(missing)
+        )
+        return resolved

@@ -1,0 +1,145 @@
+"""Counters and derived metrics surfaced through the engine API.
+
+The Introduction's performance claims are about *amortization*: pay
+for certification once, schedule fine-grained chunks, never extract
+the same chunk twice.  :class:`EngineStats` makes each of those
+effects observable — benchmarks and operators read certification
+counts, cache hit rates and chunk throughput from here instead of
+instrumenting the engine by hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class EngineStats:
+    """A snapshot of one engine's counters.
+
+    Produced by :meth:`repro.engine.ExtractionEngine.stats`; all
+    counters are cumulative over the engine's lifetime (i.e. across
+    ``run`` calls), which is what makes plan-cache reuse visible.
+    """
+
+    #: Documents processed across all runs.
+    documents: int = 0
+    #: Chunk instances encountered (every chunk of every document).
+    chunks_total: int = 0
+    #: Chunk texts actually evaluated by a spanner.
+    chunks_evaluated: int = 0
+    #: Chunk instances served from the chunk cache.
+    chunk_cache_hits: int = 0
+    #: Chunk cache misses (equals chunks evaluated when unbounded).
+    chunk_cache_misses: int = 0
+    #: Entries currently retained in the chunk cache.
+    chunk_cache_size: int = 0
+    #: Chunk-cache evictions (bounded caches only).
+    chunk_cache_evictions: int = 0
+    #: Times a certified plan was replayed from the plan cache.
+    plan_cache_hits: int = 0
+    #: Times the decision procedures actually ran (plan-cache misses).
+    certifications: int = 0
+    #: Total seconds spent inside the decision procedures.
+    certification_seconds: float = 0.0
+    #: Total seconds spent splitting, scheduling and evaluating.
+    extraction_seconds: float = 0.0
+    #: Span tuples produced across all runs.
+    tuples_emitted: int = 0
+    #: Extra key/value pairs (e.g. per-shard breakdowns).
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def chunk_hit_rate(self) -> float:
+        """Fraction of chunk instances served without evaluation."""
+        total = self.chunk_cache_hits + self.chunk_cache_misses
+        return self.chunk_cache_hits / total if total else 0.0
+
+    @property
+    def chunks_per_second(self) -> float:
+        """Chunk instances consumed per second of extraction time."""
+        if self.extraction_seconds <= 0:
+            return 0.0
+        return self.chunks_total / self.extraction_seconds
+
+    @property
+    def dedup_factor(self) -> float:
+        """How many chunk instances each evaluation served on average."""
+        if self.chunks_evaluated == 0:
+            return 1.0
+        return self.chunks_total / self.chunks_evaluated
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat dict (counters plus derived metrics) for reporting."""
+        return {
+            "documents": self.documents,
+            "chunks_total": self.chunks_total,
+            "chunks_evaluated": self.chunks_evaluated,
+            "chunk_cache_hits": self.chunk_cache_hits,
+            "chunk_cache_misses": self.chunk_cache_misses,
+            "chunk_cache_size": self.chunk_cache_size,
+            "chunk_cache_evictions": self.chunk_cache_evictions,
+            "chunk_hit_rate": self.chunk_hit_rate,
+            "dedup_factor": self.dedup_factor,
+            "plan_cache_hits": self.plan_cache_hits,
+            "certifications": self.certifications,
+            "certification_seconds": self.certification_seconds,
+            "extraction_seconds": self.extraction_seconds,
+            "chunks_per_second": self.chunks_per_second,
+            "tuples_emitted": self.tuples_emitted,
+            **self.extra,
+        }
+
+    def since(self, before: "EngineStats") -> "EngineStats":
+        """The delta between two cumulative snapshots of one engine.
+
+        Counters subtract; gauges (cache size) keep the later value.
+        This is what one ``run`` contributed to the engine's lifetime
+        totals.
+        """
+        return EngineStats(
+            documents=self.documents - before.documents,
+            chunks_total=self.chunks_total - before.chunks_total,
+            chunks_evaluated=self.chunks_evaluated - before.chunks_evaluated,
+            chunk_cache_hits=self.chunk_cache_hits - before.chunk_cache_hits,
+            chunk_cache_misses=(self.chunk_cache_misses
+                                - before.chunk_cache_misses),
+            chunk_cache_size=self.chunk_cache_size,
+            chunk_cache_evictions=(self.chunk_cache_evictions
+                                   - before.chunk_cache_evictions),
+            plan_cache_hits=self.plan_cache_hits - before.plan_cache_hits,
+            certifications=self.certifications - before.certifications,
+            certification_seconds=(self.certification_seconds
+                                   - before.certification_seconds),
+            extraction_seconds=(self.extraction_seconds
+                                - before.extraction_seconds),
+            tuples_emitted=self.tuples_emitted - before.tuples_emitted,
+        )
+
+    def merge(self, other: "EngineStats") -> "EngineStats":
+        """Combine counters from another engine (sharded runs)."""
+        merged = EngineStats(
+            documents=self.documents + other.documents,
+            chunks_total=self.chunks_total + other.chunks_total,
+            chunks_evaluated=self.chunks_evaluated + other.chunks_evaluated,
+            chunk_cache_hits=self.chunk_cache_hits + other.chunk_cache_hits,
+            chunk_cache_misses=(self.chunk_cache_misses
+                                + other.chunk_cache_misses),
+            # A gauge, not a counter: results of one engine share one
+            # cache, so summing would double-count its contents.
+            chunk_cache_size=max(self.chunk_cache_size,
+                                 other.chunk_cache_size),
+            chunk_cache_evictions=(self.chunk_cache_evictions
+                                   + other.chunk_cache_evictions),
+            plan_cache_hits=self.plan_cache_hits + other.plan_cache_hits,
+            certifications=self.certifications + other.certifications,
+            certification_seconds=(self.certification_seconds
+                                   + other.certification_seconds),
+            extraction_seconds=(self.extraction_seconds
+                                + other.extraction_seconds),
+            tuples_emitted=self.tuples_emitted + other.tuples_emitted,
+        )
+        merged.extra.update(self.extra)
+        merged.extra.update(other.extra)
+        return merged

@@ -6,9 +6,17 @@ split-correctness is certified, evaluation distributes over chunks
 only revised segments (:mod:`repro.runtime.incremental`), and a
 planner picks the best certified splitter automatically
 (:mod:`repro.runtime.planner`).
+
+These primitives operate on one document (or one plain list of
+documents) at a time.  For *corpus-scale* extraction — certify once
+per program via a plan cache, deduplicate repeated chunks across
+documents, shard and batch over a worker pool — use the engine layered
+on top of this runtime: :class:`repro.engine.ExtractionEngine` is the
+preferred corpus-level entry point.
 """
 
 from repro.runtime.executor import (
+    evaluate_texts_parallel,
     evaluate_whole,
     map_corpus,
     map_corpus_sequential,
@@ -25,9 +33,16 @@ from repro.runtime.fast import (
     RegexSpanner,
 )
 from repro.runtime.incremental import IncrementalExtractor
-from repro.runtime.planner import Plan, Planner, RegisteredSplitter, SplitReport
+from repro.runtime.planner import (
+    CertifiedPlan,
+    Plan,
+    Planner,
+    RegisteredSplitter,
+    SplitReport,
+)
 
 __all__ = [
+    "evaluate_texts_parallel",
     "evaluate_whole",
     "map_corpus",
     "map_corpus_sequential",
@@ -41,6 +56,7 @@ __all__ = [
     "FastTokenNgramSplitter",
     "RegexSpanner",
     "IncrementalExtractor",
+    "CertifiedPlan",
     "Plan",
     "Planner",
     "RegisteredSplitter",

@@ -64,9 +64,42 @@ def _init_worker(spanner: SpannerLike) -> None:
     _WORKER_SPANNER = spanner
 
 
-def _evaluate_chunk(task: Tuple[str, Span]) -> Set[SpanTuple]:
-    chunk, span = task
-    return {t.shift(span) for t in _WORKER_SPANNER.evaluate(chunk)}
+def _evaluate_text(text: str) -> Set[SpanTuple]:
+    return set(_WORKER_SPANNER.evaluate(text))
+
+
+def evaluate_texts_parallel(
+    spanner: SpannerLike,
+    texts: Sequence[str],
+    workers: int = 5,
+    chunksize: int = 1,
+    pool: Optional["multiprocessing.pool.Pool"] = None,
+) -> List[Set[SpanTuple]]:
+    """Evaluate ``spanner`` on each text over a process pool.
+
+    The reusable primitive under every parallel plan (and under the
+    corpus engine's scheduler, :mod:`repro.engine.scheduler`): results
+    come back *unshifted*, positioned within each text, in input order.
+    The spanner is shipped to each worker once (pool initializer), then
+    texts are scheduled dynamically — the fine-granularity scheduling
+    effect the Introduction credits for the Spark speedups.
+
+    ``pool`` lets a caller supply a long-lived pool whose initializer
+    already shipped ``spanner`` (see :meth:`repro.engine.scheduler.
+    Scheduler`); otherwise a pool is created for this call
+    (``workers <= 1`` evaluates in-process instead).
+    """
+    if not texts:
+        return []
+    if pool is not None:
+        return list(pool.imap(_evaluate_text, texts, chunksize=chunksize))
+    if workers <= 1:
+        return [set(spanner.evaluate(text)) for text in texts]
+    with multiprocessing.Pool(
+        processes=workers, initializer=_init_worker, initargs=(spanner,)
+    ) as created:
+        return list(created.imap(_evaluate_text, texts,
+                                 chunksize=chunksize))
 
 
 def split_by_parallel(
@@ -78,25 +111,18 @@ def split_by_parallel(
 ) -> Set[SpanTuple]:
     """The split plan distributed over a process pool.
 
-    ``workers=5`` matches the paper's 5-core / 5-node experiments.  The
-    spanner is shipped to each worker once (pool initializer), then
-    chunks are scheduled dynamically — the fine-granularity scheduling
-    effect the Introduction credits for the Spark speedups.
+    ``workers=5`` matches the paper's 5-core / 5-node experiments.
     """
-    tasks = [
-        (span.extract(document), span)
-        for span in splitter_spans(splitter, document)
-    ]
-    if not tasks:
-        return set()
-    results: Set[SpanTuple] = set()
-    with multiprocessing.Pool(
-        processes=workers, initializer=_init_worker, initargs=(spanner,)
-    ) as pool:
-        for partial in pool.imap_unordered(_evaluate_chunk, tasks,
-                                           chunksize=chunksize):
-            results.update(partial)
-    return results
+    spans = splitter_spans(splitter, document)
+    chunk_results = evaluate_texts_parallel(
+        spanner, [span.extract(document) for span in spans],
+        workers=workers, chunksize=chunksize,
+    )
+    return {
+        t.shift(span)
+        for span, partial in zip(spans, chunk_results)
+        for t in partial
+    }
 
 
 def map_corpus(
@@ -113,6 +139,10 @@ def map_corpus(
     with a splitter, every chunk of every document becomes its own
     task, reproducing the finer-granularity plan whose benefit the
     Introduction measures on Reuters/Amazon.
+
+    For corpus-scale runs that should also *deduplicate* repeated
+    chunks and reuse certified plans, prefer
+    :class:`repro.engine.ExtractionEngine`.
     """
     if splitter is None:
         tasks = [(doc, Span(1, len(doc) + 1)) for doc in documents]
@@ -125,15 +155,12 @@ def map_corpus(
                 tasks.append((span.extract(doc), span))
                 owners.append(index)
     results: List[Set[SpanTuple]] = [set() for _ in documents]
-    if not tasks:
-        return results
-    with multiprocessing.Pool(
-        processes=workers, initializer=_init_worker, initargs=(spanner,)
-    ) as pool:
-        for owner, partial in zip(
-            owners, pool.imap(_evaluate_chunk, tasks, chunksize=chunksize)
-        ):
-            results[owner].update(partial)
+    chunk_results = evaluate_texts_parallel(
+        spanner, [text for text, _span in tasks],
+        workers=workers, chunksize=chunksize,
+    )
+    for (text, span), owner, partial in zip(tasks, owners, chunk_results):
+        results[owner].update(t.shift(span) for t in partial)
     return results
 
 

@@ -11,7 +11,8 @@ developer can spot unintended boundary crossings.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set
 
 from repro.core.self_splittability import is_self_splittable
@@ -60,6 +61,40 @@ class Plan:
         if workers:
             return split_by_parallel(runner, target, document, workers)
         return split_by(runner, target, document)
+
+
+@dataclass
+class CertifiedPlan:
+    """A :class:`Plan` together with its certification record.
+
+    This is the reusable artifact the corpus engine caches
+    (:mod:`repro.engine.cache`): the decision procedures that produced
+    ``plan`` are PSPACE in general, so a corpus run pays
+    ``certification_seconds`` once and re-executes the plan on every
+    document.  ``fingerprint`` identifies the (spanner, splitter
+    registry) pair the certificate is valid for; it is filled in by the
+    caching layer, which owns the fingerprinting scheme.
+    """
+
+    plan: Plan
+    certification_seconds: float
+    fingerprint: Optional[str] = None
+    #: How many times this certificate has been reused from a cache.
+    reuses: int = field(default=0, compare=False)
+
+    @property
+    def mode(self) -> str:
+        return self.plan.mode
+
+    @property
+    def splitter_name(self) -> Optional[str]:
+        return self.plan.splitter.name if self.plan.splitter else None
+
+    def execute(
+        self, spanner: VSetAutomaton, document: str,
+        workers: Optional[int] = None,
+    ) -> Set[SpanTuple]:
+        return self.plan.execute(spanner, document, workers=workers)
 
 
 @dataclass
@@ -130,3 +165,18 @@ class Planner:
                 )
                 return Plan("split", registered, canonical)
         return Plan("whole", None, None)
+
+    def certify(
+        self, spanner: VSetAutomaton, fingerprint: Optional[str] = None
+    ) -> CertifiedPlan:
+        """Run the decision procedures once and record the certificate.
+
+        The returned :class:`CertifiedPlan` is safe to reuse for every
+        document (and every future corpus) as long as the spanner and
+        the splitter registry are unchanged — which is exactly what
+        ``fingerprint`` lets a cache check.
+        """
+        start = time.perf_counter()
+        plan = self.plan(spanner)
+        elapsed = time.perf_counter() - start
+        return CertifiedPlan(plan, elapsed, fingerprint)

@@ -1,0 +1,395 @@
+"""Tests for the corpus extraction engine (:mod:`repro.engine`) and
+the executor's parallel primitives it builds on."""
+
+import pytest
+
+from repro.core.spans import Span
+from repro.engine import (
+    ChunkCache,
+    Corpus,
+    Document,
+    ExtractionEngine,
+    PlanCache,
+    Program,
+    Scheduler,
+    fingerprint,
+    registry_fingerprint,
+    shard_of,
+)
+from repro.runtime import (
+    FastSentenceSplitter,
+    FastSeparatorSplitter,
+    Planner,
+    RegisteredSplitter,
+    evaluate_texts_parallel,
+    evaluate_whole,
+    split_by,
+    split_by_parallel,
+)
+from repro.runtime.fast import RegexSpanner
+from repro.spanners.regex_formulas import compile_regex_formula
+from repro.splitters.builders import sentence_splitter, token_splitter
+
+TXT = frozenset("ab .")
+
+
+def a_run_extractor():
+    return compile_regex_formula(
+        ".*(\\.| )y{a+}(\\.| ).*|y{a+}(\\.| ).*|.*(\\.| )y{a+}|y{a+}", TXT
+    )
+
+
+def registry():
+    return [
+        RegisteredSplitter("tokens", token_splitter(TXT), priority=3,
+                           executor=FastSeparatorSplitter(" ")),
+        RegisteredSplitter("sentences", sentence_splitter(TXT),
+                           priority=2, executor=FastSentenceSplitter()),
+    ]
+
+
+#: A corpus with heavy chunk repetition across documents.
+DOCS = [
+    "aa ab a aaa.",
+    "aa ab a aaa.",
+    "b aa b.",
+    "aa ab a aaa.",
+    "b aa b. aa ab",
+    "",
+]
+
+
+# ----------------------------------------------------------------------
+# Executor parallel path
+# ----------------------------------------------------------------------
+
+
+class TestEvaluateTextsParallel:
+    def test_matches_sequential_order_preserved(self):
+        spanner = a_run_extractor()
+        texts = ["aa", "ab", "", "aaa", "aa"]
+        sequential = [set(spanner.evaluate(t)) for t in texts]
+        parallel = evaluate_texts_parallel(spanner, texts, workers=3)
+        assert parallel == sequential
+
+    def test_workers_one_runs_in_process(self):
+        spanner = a_run_extractor()
+        assert evaluate_texts_parallel(spanner, ["aa"], workers=1) == [
+            set(spanner.evaluate("aa"))
+        ]
+
+    def test_empty_input(self):
+        assert evaluate_texts_parallel(a_run_extractor(), [],
+                                       workers=2) == []
+
+    def test_split_by_parallel_still_matches_sequential(self):
+        spanner = a_run_extractor()
+        fast = FastSeparatorSplitter(" .")
+        doc = "aa ab a aaa. a"
+        assert split_by_parallel(spanner, fast, doc, workers=3) == \
+            split_by(spanner, fast, doc)
+
+
+# ----------------------------------------------------------------------
+# Corpus: sharding and batching
+# ----------------------------------------------------------------------
+
+
+class TestCorpus:
+    def test_from_texts_ids_and_order(self):
+        corpus = Corpus.from_texts(["x.", "y."])
+        assert corpus.doc_ids() == ["doc-0000", "doc-0001"]
+        assert [d.text for d in corpus] == ["x.", "y."]
+
+    def test_duplicate_ids_rejected(self):
+        corpus = Corpus([Document("d", "x")])
+        with pytest.raises(ValueError):
+            corpus.add(Document("d", "y"))
+
+    def test_sharding_is_deterministic(self):
+        ids = [f"doc-{i}" for i in range(50)]
+        first = [shard_of(doc_id, 7) for doc_id in ids]
+        second = [shard_of(doc_id, 7) for doc_id in ids]
+        assert first == second
+        # Known anchor: stability across processes/machines (SHA-1).
+        assert shard_of("doc-0", 7) == int.from_bytes(
+            __import__("hashlib").sha1(b"doc-0").digest()[:8], "big") % 7
+
+    def test_shards_partition_corpus(self):
+        corpus = Corpus.from_texts([f"text {i}." for i in range(20)])
+        shards = corpus.shards(4)
+        assert sum(len(s) for s in shards) == len(corpus)
+        collected = sorted(
+            doc.doc_id for shard in shards for doc in shard
+        )
+        assert collected == sorted(corpus.doc_ids())
+        for index, shard in enumerate(shards):
+            assert shard.doc_ids() == corpus.shard(4, index).doc_ids()
+
+    def test_shard_assignment_independent_of_insertion_order(self):
+        docs = [Document(f"d{i}", "x") for i in range(10)]
+        forward = Corpus(docs).shards(3)
+        backward = Corpus(reversed(docs)).shards(3)
+        assert [sorted(s.doc_ids()) for s in forward] == \
+            [sorted(s.doc_ids()) for s in backward]
+
+    def test_batches(self):
+        corpus = Corpus.from_texts(["a", "b", "c", "d", "e"])
+        sizes = [len(batch) for batch in corpus.batches(2)]
+        assert sizes == [2, 2, 1]
+        with pytest.raises(ValueError):
+            list(corpus.batches(0))
+
+
+# ----------------------------------------------------------------------
+# Fingerprints and the plan cache
+# ----------------------------------------------------------------------
+
+
+class TestPlanCache:
+    def test_structurally_equal_spanners_fingerprint_alike(self):
+        assert fingerprint(a_run_extractor()) == \
+            fingerprint(a_run_extractor())
+
+    def test_different_spanners_fingerprint_differently(self):
+        other = compile_regex_formula(".*y{b+}.*|y{b+}", TXT)
+        assert fingerprint(a_run_extractor()) != fingerprint(other)
+
+    def test_registry_fingerprint_sensitive_to_members(self):
+        full = registry()
+        assert registry_fingerprint(full) != registry_fingerprint(full[:1])
+
+    def test_decision_procedures_run_once_per_program(self):
+        cache = PlanCache()
+        planner = Planner(registry())
+        spanner = a_run_extractor()
+        first = cache.get(planner, spanner)
+        again = cache.get(planner, a_run_extractor())
+        assert again is first
+        assert cache.certifications == 1
+        assert cache.hits == 1
+        assert first.reuses == 1
+        assert first.plan.mode == "split"
+
+    def test_distinct_programs_certified_separately(self):
+        cache = PlanCache()
+        planner = Planner(registry())
+        cache.get(planner, a_run_extractor())
+        cache.get(planner, compile_regex_formula(".*y{b+}.*|y{b+}", TXT))
+        assert cache.certifications == 2
+
+
+# ----------------------------------------------------------------------
+# Chunk cache
+# ----------------------------------------------------------------------
+
+
+class TestChunkCache:
+    def test_hit_miss_counting(self):
+        cache = ChunkCache()
+        assert cache.lookup("fp", "aa") is None
+        cache.store("fp", "aa", set())
+        assert cache.lookup("fp", "aa") == frozenset()
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_programs_do_not_cross_contaminate(self):
+        cache = ChunkCache()
+        cache.store("fp1", "aa", set())
+        assert cache.lookup("fp2", "aa") is None
+
+    def test_lru_eviction(self):
+        cache = ChunkCache(limit=2)
+        cache.store("fp", "a", set())
+        cache.store("fp", "b", set())
+        cache.lookup("fp", "a")          # refresh "a"
+        cache.store("fp", "c", set())    # evicts "b"
+        assert cache.lookup("fp", "b") is None
+        assert cache.lookup("fp", "a") is not None
+        assert cache.evictions == 1
+        assert len(cache) == 2
+
+
+# ----------------------------------------------------------------------
+# Scheduler
+# ----------------------------------------------------------------------
+
+
+class TestScheduler:
+    def test_merges_shifted_tuples_per_document(self):
+        spanner = a_run_extractor()
+        cache = ChunkCache()
+        scheduler = Scheduler(workers=0)
+        doc = "aa ab"
+        chunks = [(Span(1, 3), "aa"), (Span(4, 6), "ab")]
+        resolved = scheduler.run(spanner, [("d", chunks)], cache, "fp")
+        assert resolved["d"] == evaluate_whole(spanner, doc)
+
+    def test_duplicate_chunks_evaluated_once_within_batch(self):
+        spanner = a_run_extractor()
+        cache = ChunkCache()
+        scheduler = Scheduler(workers=0)
+        chunks = [(Span(1, 3), "aa"), (Span(4, 6), "aa")]
+        scheduler.run(spanner, [("d", chunks)], cache, "fp")
+        assert scheduler.last_batch.unique_missing == 1
+        assert scheduler.last_batch.chunk_instances == 2
+        assert cache.hits == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scheduler(workers=-1)
+        with pytest.raises(ValueError):
+            Scheduler(batch_size=0)
+
+
+# ----------------------------------------------------------------------
+# ExtractionEngine end to end
+# ----------------------------------------------------------------------
+
+
+class TestExtractionEngine:
+    def _expected(self, spanner):
+        return {
+            f"doc-{i:04d}": evaluate_whole(spanner, doc)
+            for i, doc in enumerate(DOCS)
+        }
+
+    def test_results_match_evaluate_whole_with_dedup(self):
+        spanner = a_run_extractor()
+        engine = ExtractionEngine(registry(), workers=0, batch_size=2)
+        result = engine.run(DOCS, spanner)
+        assert result.by_document == self._expected(spanner)
+        stats = engine.stats()
+        assert stats.certifications == 1
+        assert stats.chunk_cache_hits > 0
+        assert stats.chunks_evaluated < stats.chunks_total
+        assert stats.documents == len(DOCS)
+        assert stats.tuples_emitted == result.total_tuples()
+
+    def test_parallel_engine_matches_sequential(self):
+        spanner = a_run_extractor()
+        sequential = ExtractionEngine(registry(), workers=0)
+        parallel = ExtractionEngine(registry(), workers=3, batch_size=4)
+        assert parallel.run(DOCS, spanner).by_document == \
+            sequential.run(DOCS, spanner).by_document
+
+    def test_second_run_reuses_certificate_and_chunks(self):
+        spanner = a_run_extractor()
+        engine = ExtractionEngine(registry())
+        engine.run(DOCS, spanner)
+        evaluated_once = engine.stats().chunks_evaluated
+        engine.run(DOCS, spanner)
+        stats = engine.stats()
+        assert stats.certifications == 1
+        assert stats.plan_cache_hits == 1
+        # Every chunk of the second run came from the cache.
+        assert stats.chunks_evaluated == evaluated_once
+
+    def test_whole_document_fallback_still_correct(self):
+        crossing = compile_regex_formula(
+            ".*y{a a}.*|y{a a}.*|.*y{a a}|y{a a}", TXT
+        )
+        engine = ExtractionEngine(registry())
+        docs = ["aa a a.", "aa a a.", "b a a"]
+        result = engine.run(docs, crossing)
+        assert result.plan.mode == "whole"
+        for i, doc in enumerate(docs):
+            assert result[f"doc-{i:04d}"] == evaluate_whole(crossing, doc)
+        # Identical whole documents still deduplicate.
+        assert engine.stats().chunk_cache_hits > 0
+
+    def test_sharded_run_matches_plain_run(self):
+        spanner = a_run_extractor()
+        engine = ExtractionEngine(registry())
+        plain = engine.run(DOCS, spanner)
+        sharded = ExtractionEngine(registry()).run_sharded(DOCS, spanner, 3)
+        assert sharded.by_document == plain.by_document
+
+    def test_fast_executable_with_specification(self):
+        spec = a_run_extractor()
+        fast = RegexSpanner(r"(?:^|[ .])(?P<y>a+)(?=[ .]|$)",
+                            specification=spec)
+        engine = ExtractionEngine(registry())
+        result = engine.run(DOCS, Program(fast))
+        assert result.by_document == self._expected(spec)
+        assert result.plan.plan.self_splittable
+
+    def test_program_requires_specification_for_fast_executable(self):
+        with pytest.raises(ValueError):
+            Program(RegexSpanner(r"(?P<y>a+)"))
+
+    def test_result_stats_are_per_run_deltas(self):
+        spanner = a_run_extractor()
+        engine = ExtractionEngine(registry())
+        first = engine.run(DOCS, spanner)
+        second = engine.run(DOCS, spanner)
+        assert first.stats.certifications == 1
+        assert second.stats.certifications == 0
+        assert second.stats.documents == len(DOCS)
+        # The second run serves every chunk from the cache.
+        assert second.stats.chunks_evaluated == 0
+        # Engine-level counters stay cumulative.
+        assert engine.stats().documents == 2 * len(DOCS)
+
+    def test_shared_chunk_cache_namespaced_by_certificate(self):
+        # Two engines with different registries share one chunk cache;
+        # the same text must not be served across certificates, because
+        # different certificates can imply different runners.
+        spanner = a_run_extractor()
+        shared = ChunkCache()
+        split_engine = ExtractionEngine(registry(), chunk_cache=shared)
+        whole_engine = ExtractionEngine([], chunk_cache=shared)
+        split_engine.run(["aa"], spanner)     # caches chunk "aa"
+        before = shared.misses
+        result = whole_engine.run(["aa"], spanner)
+        assert shared.misses == before + 1    # not served cross-certificate
+        assert result["doc-0000"] == evaluate_whole(spanner, "aa")
+
+    def test_close_and_context_manager(self):
+        spanner = a_run_extractor()
+        with ExtractionEngine(registry(), workers=2) as engine:
+            engine.run(DOCS, spanner)
+            scheduler = engine.scheduler
+            assert scheduler._pool is not None
+        assert scheduler._pool is None        # closed on exit
+        engine.close()                        # idempotent
+
+    def test_engine_result_merge_rejects_overlap(self):
+        spanner = a_run_extractor()
+        engine = ExtractionEngine(registry())
+        result = engine.run(DOCS[:2], spanner)
+        with pytest.raises(ValueError):
+            result.merge(result)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestEngineCli:
+    PATTERN = (".*(\\.| )y{a+}(\\.| ).*|y{a+}(\\.| ).*"
+               "|.*(\\.| )y{a+}|y{a+}")
+
+    def test_engine_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "engine", "--pattern", self.PATTERN, "--alphabet", "ab .",
+            "--splitters", "tokens,sentences",
+            "--text", "aa ab a aaa.", "--text", "aa ab a aaa.",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "plan: split by 'tokens'" in out
+        assert "certifications: 1" in out
+        assert "chunk_cache_hits" in out
+
+    def test_engine_subcommand_requires_documents(self, capsys):
+        from repro.__main__ import main
+
+        code = main([
+            "engine", "--pattern", self.PATTERN, "--alphabet", "ab .",
+        ])
+        assert code == 2
+        assert "no documents" in capsys.readouterr().err
