@@ -17,10 +17,32 @@ machinery those procedures are built on:
 * :mod:`repro.automata.containment` -- language containment and
   equivalence via on-the-fly determinization (the PSPACE procedure);
 * :mod:`repro.automata.ufa` -- ambiguity testing and the polynomial-time
-  containment test for unambiguous automata (Stearns & Hunt [33]).
+  containment test for unambiguous automata (Stearns & Hunt [33]);
+* :mod:`repro.automata.compiled` -- the **compiled kernel**: every
+  automaton lowers once onto a dense integer/bitset IR (states and
+  symbols relabeled to ints, state sets as Python-int bitsets, epsilon
+  closures precomputed, subset steps as table lookups + bitwise OR)
+  with a lazily memoized, LRU-bounded subset construction
+  (:class:`repro.automata.compiled.LazyDFA`).  ``NFA.accepts``,
+  ``NFA.is_empty``, ``NFA.to_dfa``, ``NFA.product_is_empty`` and
+  ``VSetAutomaton.evaluate`` all execute on this shared IR; the
+  dict-of-sets interpreter survives as the reference semantics
+  (``accepts_interpreted`` / ``evaluate_interpreted``) that the
+  property tests validate the kernel against.
+
+Lowering happens when an automaton is first queried (and, in the
+runtime, once per certified plan at certify time — never per chunk);
+``add_transition`` invalidates the cached artifact.
 """
 
 from repro.automata.nfa import EPSILON, NFA
+from repro.automata.compiled import (
+    CompiledNFA,
+    CompiledVSetAutomaton,
+    LazyDFA,
+    compile_nfa,
+    compile_vset_automaton,
+)
 from repro.automata.dfa import DFA
 from repro.automata.regex import regex_to_nfa, parse_regex
 from repro.automata.containment import (
@@ -34,6 +56,11 @@ __all__ = [
     "EPSILON",
     "NFA",
     "DFA",
+    "CompiledNFA",
+    "CompiledVSetAutomaton",
+    "LazyDFA",
+    "compile_nfa",
+    "compile_vset_automaton",
     "regex_to_nfa",
     "parse_regex",
     "nfa_contains",

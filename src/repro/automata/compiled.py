@@ -1,0 +1,581 @@
+"""Compiled automaton kernel: an integer/bitset IR shared by all layers.
+
+Every procedure in the reproduction — NFA membership and emptiness, the
+decision procedures of Sections 4–6, VSet-automaton evaluation, and the
+corpus engine's chunk runners — ultimately executes automaton steps.
+Interpreting those steps over dict-of-sets transition tables with
+arbitrary hashable states dominates every benchmark, so this module
+lowers an :class:`repro.automata.nfa.NFA` **once** into a dense form:
+
+* states are relabeled to integers ``0..n-1`` (breadth-first order from
+  the initial state, deterministic), symbols to integers ``0..m-1``;
+* state sets are Python-int **bitsets**, so set union is ``|`` and
+  membership is a shift-and-mask;
+* epsilon closures are precomputed per state, and the closed transition
+  table ``closed_next[state][symbol]`` maps directly to the
+  epsilon-closed successor bitset — one subset-simulation step is a
+  handful of table lookups OR-ed together;
+* a :class:`LazyDFA` memoizes subset-construction states *on demand*
+  with an LRU bound, so repeated membership queries against the same
+  automaton amortize to one dict lookup per input symbol without ever
+  paying the full exponential subset construction.
+
+Lowering happens at most once per automaton (``NFA.compiled()`` caches
+the artifact and invalidates it on mutation) and at most once per
+certified plan in the runtime (:meth:`repro.runtime.planner.Planner.
+certify` lowers at certify time, so the engine's plan cache replays
+compiled artifacts and workers never re-lower).
+
+:class:`CompiledVSetAutomaton` extends the kernel to spanner
+evaluation: configurations run as ``(position, state_id, status)``
+tuples against precomputed per-state move tables, and the
+suffix-acceptance table of :meth:`repro.spanners.vset_automaton.
+VSetAutomaton._suffix_acceptance` is computed by backward bitset
+sweeps instead of per-position frozenset scans.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import (
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.automata.nfa import EPSILON, NFA
+from repro.core.spans import Span, SpanTuple
+
+State = Hashable
+Symbol = Hashable
+
+
+def bits(mask: int) -> Iterator[int]:
+    """Indices of the set bits of ``mask`` (ascending)."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def _epsilon_closures(eps_edges: List[int], n: int) -> List[int]:
+    """Per-state epsilon-closure bitsets in one linear pass.
+
+    Iterative Tarjan SCC condensation over the epsilon graph: SCCs
+    finish in reverse topological order, so every epsilon edge leaving
+    a component points at states whose closure is already complete and
+    a component's closure is its member bits OR-ed with those finished
+    closures.  Graph work is O(states + edges) — epsilon-heavy chains
+    and cycles (one-shot product automata, Thompson constructions) no
+    longer pay one BFS per state.
+    """
+    closure = [0] * n
+    index = [0] * n          # 1-based visit order; 0 = unvisited
+    low = [0] * n
+    on_stack = [False] * n
+    scc_stack: List[int] = []
+    counter = 1
+    for root in range(n):
+        if index[root]:
+            continue
+        index[root] = low[root] = counter
+        counter += 1
+        scc_stack.append(root)
+        on_stack[root] = True
+        work = [(root, bits(eps_edges[root]))]
+        while work:
+            state, edges = work[-1]
+            advanced = False
+            for target in edges:
+                if not index[target]:
+                    index[target] = low[target] = counter
+                    counter += 1
+                    scc_stack.append(target)
+                    on_stack[target] = True
+                    work.append((target, bits(eps_edges[target])))
+                    advanced = True
+                    break
+                if on_stack[target] and index[target] < low[state]:
+                    low[state] = index[target]
+            if advanced:
+                continue
+            work.pop()
+            if work and low[state] < low[work[-1][0]]:
+                low[work[-1][0]] = low[state]
+            if low[state] == index[state]:
+                # ``state`` roots an SCC; everything above it on the
+                # stack is the component, and all epsilon edges leaving
+                # it reach components that are already finished.
+                members = []
+                while True:
+                    member = scc_stack.pop()
+                    on_stack[member] = False
+                    members.append(member)
+                    if member == state:
+                        break
+                mask = 0
+                for member in members:
+                    mask |= 1 << member
+                for member in members:
+                    for target in bits(eps_edges[member] & ~mask):
+                        mask |= closure[target]
+                for member in members:
+                    closure[member] = mask
+    return closure
+
+
+class CompiledNFA:
+    """The dense integer/bitset lowering of one NFA.
+
+    Only states reachable from the initial state are materialized
+    (unreachable states cannot influence acceptance, emptiness, or any
+    configuration search started at the initial state).  All artifacts
+    are plain ints/lists/dicts, so compiled automata pickle cheaply —
+    the engine ships them to pool workers inside certified plans.
+    """
+
+    def __init__(self, nfa: NFA) -> None:
+        # ---- state numbering: BFS from the initial state, visiting
+        # transitions in sorted-repr order so the numbering (and hence
+        # every derived table) is deterministic for a given automaton.
+        order: Dict[State, int] = {nfa.initial: 0}
+        queue = deque([nfa.initial])
+        while queue:
+            state = queue.popleft()
+            by_symbol = nfa._delta.get(state, {})
+            for symbol in sorted(by_symbol, key=repr):
+                for target in sorted(by_symbol[symbol], key=repr):
+                    if target not in order:
+                        order[target] = len(order)
+                        queue.append(target)
+        self.states: List[State] = [None] * len(order)
+        for state, index in order.items():
+            self.states[index] = state
+        self.state_id: Dict[State, int] = order
+        n = len(self.states)
+        self.n_states = n
+
+        # ---- symbol numbering (EPSILON handled out of band).
+        self.symbols: List[Symbol] = sorted(nfa.alphabet, key=repr)
+        self.symbol_id: Dict[Symbol, int] = {
+            symbol: index for index, symbol in enumerate(self.symbols)
+        }
+
+        # ---- raw transition tables as bitsets.
+        eps_edges = [0] * n
+        direct: List[Dict[int, int]] = [dict() for _ in range(n)]
+        for state, index in order.items():
+            for symbol, targets in nfa._delta.get(state, {}).items():
+                mask = 0
+                for target in targets:
+                    mask |= 1 << order[target]
+                if symbol is EPSILON:
+                    eps_edges[index] = mask
+                else:
+                    direct[index][self.symbol_id[symbol]] = mask
+        self.direct_next: List[Dict[int, int]] = direct
+
+        closure = _epsilon_closures(eps_edges, n)
+        self.closure: List[int] = closure
+
+        # ---- closed step table: closed_next[s][a] is the epsilon
+        # closure of the direct successors of s on symbol a, so a full
+        # subset step is the OR of closed_next rows over the current
+        # bitset (closure distributes over union).
+        closed: List[Dict[int, int]] = [dict() for _ in range(n)]
+        for s in range(n):
+            for a, mask in direct[s].items():
+                out = 0
+                for t in bits(mask):
+                    out |= closure[t]
+                closed[s][a] = out
+        self.closed_next: List[Dict[int, int]] = closed
+
+        self.initial_id = 0
+        self.start_mask: int = closure[0]
+        finals_mask = 0
+        for state in nfa.finals:
+            index = order.get(state)
+            if index is not None:
+                finals_mask |= 1 << index
+        self.finals_mask: int = finals_mask
+        self._lazy: Optional[LazyDFA] = None
+
+    # ------------------------------------------------------------------
+    # Core bitset semantics
+    # ------------------------------------------------------------------
+
+    def step(self, mask: int, symbol_index: int) -> int:
+        """One closed subset step on a symbol index."""
+        out = 0
+        for s in bits(mask):
+            out |= self.closed_next[s].get(symbol_index, 0)
+        return out
+
+    def lazy_dfa(self, max_states: int = 4096) -> "LazyDFA":
+        """The memoizing subset-construction view.
+
+        Cached per bound: asking for a different ``max_states`` than
+        the cached instance was built with replaces the cache (the old
+        memo is a pure cache, so dropping it is always safe).
+        """
+        if self._lazy is None or self._lazy.max_states != max_states:
+            self._lazy = LazyDFA(self, max_states=max_states)
+        return self._lazy
+
+    def accepts(self, word: Sequence[Symbol]) -> bool:
+        """Membership via the lazy DFA: amortized one lookup/symbol."""
+        lazy = self.lazy_dfa()
+        symbol_id = self.symbol_id
+        current = self.start_mask
+        for symbol in word:
+            index = symbol_id.get(symbol)
+            if index is None:
+                return False
+            current = lazy.next(current, index)
+            if not current:
+                return False
+        return bool(current & self.finals_mask)
+
+    def reachable_mask(self) -> int:
+        """Bitset of states reachable from the initial state."""
+        reached = self.start_mask
+        frontier = reached
+        while frontier:
+            step = 0
+            for s in bits(frontier):
+                for mask in self.closed_next[s].values():
+                    step |= mask
+            frontier = step & ~reached
+            reached |= step
+        return reached
+
+    def is_empty(self) -> bool:
+        """Whether the accepted language is empty."""
+        return not (self.reachable_mask() & self.finals_mask)
+
+    def intersection_is_empty(self, other: "CompiledNFA") -> bool:
+        """Whether ``L(self) & L(other)`` is empty (product emptiness).
+
+        On-the-fly reachability over pairs of *individual* states (the
+        same search space as the materialized product automaton, so
+        polynomial — at most ``n_left * n_right`` pairs), executed on
+        the closed transition tables; this is what
+        :meth:`repro.automata.nfa.NFA.product_is_empty` lowers to.
+        """
+        shared = [
+            (index, other.symbol_id[symbol])
+            for symbol, index in self.symbol_id.items()
+            if symbol in other.symbol_id
+        ]
+        left_finals = self.finals_mask
+        right_finals = other.finals_mask
+        pairs = [
+            (p, q)
+            for p in bits(self.start_mask)
+            for q in bits(other.start_mask)
+        ]
+        seen = set(pairs)
+        queue = deque(pairs)
+        while queue:
+            p, q = queue.popleft()
+            if (left_finals >> p) & 1 and (right_finals >> q) & 1:
+                return False
+            left_row = self.closed_next[p]
+            right_row = other.closed_next[q]
+            for a, b in shared:
+                left_next = left_row.get(a, 0)
+                if not left_next:
+                    continue
+                right_next = right_row.get(b, 0)
+                if not right_next:
+                    continue
+                for p2 in bits(left_next):
+                    for q2 in bits(right_next):
+                        pair = (p2, q2)
+                        if pair not in seen:
+                            seen.add(pair)
+                            queue.append(pair)
+        return True
+
+    def subset_table(self) -> Dict[int, Dict[int, int]]:
+        """The *full* subset construction over bitset states.
+
+        Returns ``{state_mask: {symbol_index: successor_mask}}`` for
+        every reachable subset (including the empty sink when it is
+        reached); :meth:`repro.automata.nfa.NFA.to_dfa` converts this
+        back to frozensets of original states.
+        """
+        table: Dict[int, Dict[int, int]] = {}
+        queue = deque([self.start_mask])
+        n_symbols = len(self.symbols)
+        while queue:
+            mask = queue.popleft()
+            if mask in table:
+                continue
+            row = {a: self.step(mask, a) for a in range(n_symbols)}
+            table[mask] = row
+            for nxt in row.values():
+                if nxt not in table:
+                    queue.append(nxt)
+        return table
+
+    def mask_to_states(self, mask: int) -> FrozenSet[State]:
+        """Translate a bitset back to the original state objects."""
+        return frozenset(self.states[s] for s in bits(mask))
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledNFA(states={self.n_states}, "
+            f"symbols={len(self.symbols)})"
+        )
+
+
+class LazyDFA:
+    """Subset-construction states memoized on demand, LRU-bounded.
+
+    Maps ``(subset bitset, symbol index) -> subset bitset`` through a
+    per-subset row cache.  Rows are evicted least-recently-used once
+    ``max_states`` subsets are live, which bounds memory on adversarial
+    automata (the exponential subset lattice) while keeping the common
+    case — a handful of hot subsets per workload — fully cached.
+    """
+
+    def __init__(self, compiled: CompiledNFA, max_states: int = 4096) -> None:
+        if max_states < 1:
+            raise ValueError("max_states must be positive")
+        self.compiled = compiled
+        self.max_states = max_states
+        self._rows: "OrderedDict[int, Dict[int, int]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def next(self, mask: int, symbol_index: int) -> int:
+        """The closed successor subset, memoized."""
+        row = self._rows.get(mask)
+        if row is None:
+            while len(self._rows) >= self.max_states:
+                self._rows.popitem(last=False)
+                self.evictions += 1
+            row = {}
+            self._rows[mask] = row
+        else:
+            self._rows.move_to_end(mask)
+        nxt = row.get(symbol_index)
+        if nxt is None:
+            nxt = self.compiled.step(mask, symbol_index)
+            row[symbol_index] = nxt
+            self.misses += 1
+        else:
+            self.hits += 1
+        return nxt
+
+    def __getstate__(self):
+        # The memo is a cache, not state: ship compiled artifacts to
+        # pool workers without dragging the subset table along.
+        return {"compiled": self.compiled, "max_states": self.max_states}
+
+    def __setstate__(self, state):
+        self.__init__(state["compiled"], max_states=state["max_states"])
+
+
+def compile_nfa(nfa: NFA) -> CompiledNFA:
+    """Lower ``nfa`` onto the integer/bitset IR.
+
+    Prefer :meth:`repro.automata.nfa.NFA.compiled`, which caches the
+    artifact on the automaton and invalidates it on mutation.
+    """
+    return CompiledNFA(nfa)
+
+
+# ----------------------------------------------------------------------
+# VSet-automaton evaluation on the kernel
+# ----------------------------------------------------------------------
+
+
+class CompiledVSetAutomaton:
+    """A VSet-automaton lowered for evaluation.
+
+    Built by :func:`compile_vset_automaton` (cached as
+    :meth:`repro.spanners.vset_automaton.VSetAutomaton.compiled`).  The
+    per-state move tables are *source-closed*: moves available from a
+    configuration ``(pos, state, status)`` are the letter and variable
+    moves of every state in the epsilon closure of ``state``, so the
+    configuration search never enqueues pure-epsilon configurations.
+    """
+
+    def __init__(
+        self,
+        base: CompiledNFA,
+        variables: Tuple[Hashable, ...],
+        letter_moves: List[Dict[Symbol, Tuple[int, ...]]],
+        var_moves: List[Tuple[Tuple[int, bool, Tuple[int, ...]], ...]],
+        letter_sources: Dict[Symbol, List[Tuple[int, int]]],
+    ) -> None:
+        self.base = base
+        self.variables = variables
+        #: Per state: document letter -> target state ids (source-closed).
+        self.letter_moves = letter_moves
+        #: Per state: ``(variable index, is_close, target ids)`` triples.
+        self.var_moves = var_moves
+        #: Per letter: ``(state, direct successor bitset)`` pairs, the
+        #: input of the backward suffix sweep (epsilon handled by the
+        #: backward closure, so these are *unclosed* direct moves).
+        self.letter_sources = letter_sources
+
+    # -- suffix acceptance ---------------------------------------------
+
+    def _backward_closure(self, mask: int) -> int:
+        """States whose epsilon closure meets ``mask``."""
+        closure = self.base.closure
+        out = 0
+        bit = 1
+        for s in range(self.base.n_states):
+            if closure[s] & mask:
+                out |= bit
+            bit <<= 1
+        return out
+
+    def suffix_acceptance(self, document: Sequence[Symbol]) -> List[int]:
+        """``finishable[p]``: bitset of states accepting ``document[p:]``
+        with letters and epsilon moves only (no variable operations)."""
+        n = len(document)
+        tables = [0] * (n + 1)
+        tables[n] = self._backward_closure(self.base.finals_mask)
+        sources = self.letter_sources
+        for pos in range(n - 1, -1, -1):
+            target = tables[pos + 1]
+            direct = 0
+            for state, mask in sources.get(document[pos], ()):
+                if mask & target:
+                    direct |= 1 << state
+            tables[pos] = self._backward_closure(direct)
+        return tables
+
+    # -- evaluation ----------------------------------------------------
+
+    def evaluate(self, document: Sequence[Symbol]) -> Set:
+        """Exact enumeration of ``A(d)``; agrees with the interpreted
+        :meth:`repro.spanners.vset_automaton.VSetAutomaton.
+        evaluate_interpreted` on every document.
+
+        Configurations carry the count of not-yet-closed variables so
+        the all-closed collapse (answered by the suffix table) costs an
+        integer comparison, not a status scan.
+        """
+        n = len(document)
+        finishable = self.suffix_acceptance(document)
+        variables = self.variables
+        initial_status: Tuple = (None,) * len(variables)
+        letter_moves = self.letter_moves
+        var_moves = self.var_moves
+
+        results: Set = set()
+        start = (0, self.base.initial_id, initial_status, len(variables))
+        seen = {start}
+        add_seen = seen.add
+        queue = deque([start])
+        push = queue.append
+        pop = queue.popleft
+        while queue:
+            config = pop()
+            pos, state, status, open_vars = config
+            if not open_vars:
+                if (finishable[pos] >> state) & 1:
+                    results.add(SpanTuple(dict(zip(variables, status))))
+                continue
+            for k, is_close, targets in var_moves[state]:
+                part = status[k]
+                if is_close:
+                    if type(part) is not int:
+                        continue
+                    new_part: object = Span(part, pos + 1)
+                    remaining = open_vars - 1
+                else:
+                    if part is not None:
+                        continue
+                    new_part = pos + 1
+                    remaining = open_vars
+                new_status = status[:k] + (new_part,) + status[k + 1 :]
+                for target in targets:
+                    config = (pos, target, new_status, remaining)
+                    if config not in seen:
+                        add_seen(config)
+                        push(config)
+            if pos < n:
+                targets = letter_moves[state].get(document[pos])
+                if targets:
+                    for target in targets:
+                        config = (pos + 1, target, status, open_vars)
+                        if config not in seen:
+                            add_seen(config)
+                            push(config)
+        return results
+
+
+def compile_vset_automaton(vsa) -> CompiledVSetAutomaton:
+    """Lower a :class:`repro.spanners.vset_automaton.VSetAutomaton`.
+
+    Reuses the underlying NFA's compiled form (one lowering serves both
+    language-level queries and spanner evaluation), then derives the
+    source-closed move tables and the suffix-sweep inputs.
+    """
+    from repro.spanners.refwords import VarOp
+
+    base: CompiledNFA = vsa.nfa.compiled()
+    variables, var_index = vsa.variable_order
+    n = base.n_states
+
+    # Classify the alphabet once.
+    letter_ids: Dict[int, Symbol] = {}
+    varop_ids: Dict[int, Tuple[int, bool]] = {}
+    for symbol, index in base.symbol_id.items():
+        if isinstance(symbol, VarOp):
+            k = var_index.get(symbol.variable)
+            if k is not None:
+                varop_ids[index] = (k, symbol.is_close)
+        else:
+            letter_ids[index] = symbol
+
+    letter_moves: List[Dict[Symbol, Tuple[int, ...]]] = []
+    var_moves: List[Tuple[Tuple[int, bool, Tuple[int, ...]], ...]] = []
+    for s in range(n):
+        letters: Dict[Symbol, int] = {}
+        ops: Dict[Tuple[int, bool], int] = {}
+        for mid in bits(base.closure[s]):
+            for index, mask in base.direct_next[mid].items():
+                letter = letter_ids.get(index)
+                if letter is not None:
+                    letters[letter] = letters.get(letter, 0) | mask
+                else:
+                    op = varop_ids.get(index)
+                    if op is not None:
+                        ops[op] = ops.get(op, 0) | mask
+        letter_moves.append(
+            {letter: tuple(bits(mask)) for letter, mask in letters.items()}
+        )
+        var_moves.append(tuple(
+            (k, is_close, tuple(bits(mask)))
+            for (k, is_close), mask in sorted(ops.items())
+        ))
+
+    letter_sources: Dict[Symbol, List[Tuple[int, int]]] = {}
+    for s in range(n):
+        for index, mask in base.direct_next[s].items():
+            letter = letter_ids.get(index)
+            if letter is not None:
+                letter_sources.setdefault(letter, []).append((s, mask))
+
+    return CompiledVSetAutomaton(
+        base, variables, letter_moves, var_moves, letter_sources
+    )

@@ -57,6 +57,13 @@ class NFA:
     Transitions are stored as ``{state: {symbol: {successor, ...}}}``.
     The symbol :data:`EPSILON` labels spontaneous moves and is not part
     of :attr:`alphabet`.
+
+    **Mutation contract:** the only supported post-construction
+    mutation is :meth:`add_transition`, which invalidates the memoized
+    closures and the compiled form.  ``states``/``finals`` are exposed
+    as plain sets for cheap reading, but mutating them directly after
+    a query (``accepts``/``is_empty``/``to_dfa``) would leave the
+    cached compiled artifact stale — build a new NFA instead.
     """
 
     def __init__(
@@ -74,6 +81,12 @@ class NFA:
         self.initial: State = initial
         self.finals: Set[State] = set(finals)
         self._delta: Dict[State, Dict[Symbol, Set[State]]] = {}
+        # Memoized per-state views and the compiled (integer/bitset)
+        # form; all invalidated together by add_transition.
+        self._closure_cache: Dict[State, FrozenSet[State]] = {}
+        self._symbols_cache: Dict[State, FrozenSet[Symbol]] = {}
+        self._compiled = None
+        self._version = 0
         self.states.add(initial)
         self.states.update(self.finals)
         for source, symbol, target in transitions:
@@ -92,6 +105,26 @@ class NFA:
         self.states.add(source)
         self.states.add(target)
         self._delta.setdefault(source, {}).setdefault(symbol, set()).add(target)
+        if self._closure_cache:
+            self._closure_cache.clear()
+        if self._symbols_cache:
+            self._symbols_cache.clear()
+        self._compiled = None
+        self._version += 1
+
+    def compiled(self):
+        """The integer/bitset lowering of this automaton (cached).
+
+        Lowered at most once per mutation epoch; ``accepts``,
+        ``is_empty``, ``to_dfa`` and ``product_is_empty`` all execute
+        against this shared artifact.  See
+        :mod:`repro.automata.compiled`.
+        """
+        if self._compiled is None:
+            from repro.automata.compiled import compile_nfa
+
+            self._compiled = compile_nfa(self)
+        return self._compiled
 
     def transitions(self) -> Iterator[Tuple[State, Symbol, State]]:
         """Iterate over all transitions as (source, symbol, target)."""
@@ -105,8 +138,16 @@ class NFA:
         return frozenset(self._delta.get(state, {}).get(symbol, ()))
 
     def symbols_from(self, state: State) -> FrozenSet[Symbol]:
-        """All labels (possibly EPSILON) on transitions leaving ``state``."""
-        return frozenset(self._delta.get(state, {}))
+        """All labels (possibly EPSILON) on transitions leaving ``state``.
+
+        Memoized per state (the decision procedures call this once per
+        configuration); invalidated by :meth:`add_transition`.
+        """
+        cached = self._symbols_cache.get(state)
+        if cached is None:
+            cached = frozenset(self._delta.get(state, {}))
+            self._symbols_cache[state] = cached
+        return cached
 
     def copy(self) -> "NFA":
         return NFA(
@@ -117,16 +158,36 @@ class NFA:
     # Core semantics
     # ------------------------------------------------------------------
 
-    def epsilon_closure(self, states: Iterable[State]) -> FrozenSet[State]:
-        """The set of states reachable via epsilon moves only."""
-        closure = set(states)
-        stack = list(closure)
+    def _closure_of(self, state: State) -> FrozenSet[State]:
+        """Memoized epsilon closure of a single state."""
+        cached = self._closure_cache.get(state)
+        if cached is not None:
+            return cached
+        closure = {state}
+        stack = [state]
         while stack:
-            state = stack.pop()
-            for nxt in self._delta.get(state, {}).get(EPSILON, ()):
+            current = stack.pop()
+            for nxt in self._delta.get(current, {}).get(EPSILON, ()):
                 if nxt not in closure:
                     closure.add(nxt)
                     stack.append(nxt)
+        cached = frozenset(closure)
+        self._closure_cache[state] = cached
+        return cached
+
+    def epsilon_closure(self, states: Iterable[State]) -> FrozenSet[State]:
+        """The set of states reachable via epsilon moves only.
+
+        Built from per-state closures memoized on the automaton, so
+        un-compiled callers (the on-the-fly containment procedures)
+        stop recomputing closures on every subset step.
+        """
+        states = list(states)
+        if len(states) == 1:
+            return self._closure_of(states[0])
+        closure: Set[State] = set()
+        for state in states:
+            closure |= self._closure_of(state)
         return frozenset(closure)
 
     def step(self, states: AbstractSet[State], symbol: Symbol) -> FrozenSet[State]:
@@ -137,7 +198,13 @@ class NFA:
         return self.epsilon_closure(moved)
 
     def accepts(self, word: Sequence[Symbol]) -> bool:
-        """Membership test by on-the-fly subset simulation."""
+        """Membership test on the compiled form (lazy-DFA memoized)."""
+        return self.compiled().accepts(word)
+
+    def accepts_interpreted(self, word: Sequence[Symbol]) -> bool:
+        """Membership by on-the-fly subset simulation over the
+        dict-of-sets tables (the reference semantics the compiled
+        kernel is validated against; see ``tests/test_compiled.py``)."""
         current = self.epsilon_closure({self.initial})
         for symbol in word:
             current = self.step(current, symbol)
@@ -194,8 +261,17 @@ class NFA:
         )
 
     def is_empty(self) -> bool:
-        """Whether the accepted language is empty."""
-        return not (self.reachable_states() & self.finals)
+        """Whether the accepted language is empty (compiled form)."""
+        return self.compiled().is_empty()
+
+    def product_is_empty(self, other: "NFA") -> bool:
+        """Whether ``L(self) & L(other)`` is empty.
+
+        Equivalent to ``self.product(other).is_empty()`` but runs the
+        on-the-fly pair search over the two compiled forms without ever
+        materializing the product automaton.
+        """
+        return self.compiled().intersection_is_empty(other.compiled())
 
     def shortest_word(self) -> Optional[Tuple[Symbol, ...]]:
         """A shortest accepted word, or ``None`` if the language is empty.
@@ -360,25 +436,34 @@ class NFA:
     # ------------------------------------------------------------------
 
     def to_dfa(self) -> "DFA":
-        """Full subset construction (the classical exponential step)."""
+        """Full subset construction (the classical exponential step).
+
+        Runs over the compiled bitset IR and translates the subset
+        states back to frozensets of original states, so the resulting
+        DFA is indistinguishable from the interpreted construction.
+        """
         from repro.automata.dfa import DFA
 
-        start = self.epsilon_closure({self.initial})
-        states = {start}
-        transitions: Dict[FrozenSet[State], Dict[Symbol, FrozenSet[State]]] = {}
-        queue = deque([start])
-        while queue:
-            current = queue.popleft()
-            row: Dict[Symbol, FrozenSet[State]] = {}
-            for symbol in self.alphabet:
-                nxt = self.step(current, symbol)
-                row[symbol] = nxt
-                if nxt not in states:
-                    states.add(nxt)
-                    queue.append(nxt)
-            transitions[current] = row
-        finals = {s for s in states if s & self.finals}
-        return DFA(self.alphabet, states, start, finals, transitions)
+        compiled = self.compiled()
+        table = compiled.subset_table()
+        as_states = {mask: compiled.mask_to_states(mask) for mask in table}
+        transitions: Dict[FrozenSet[State], Dict[Symbol, FrozenSet[State]]] = {
+            as_states[mask]: {
+                compiled.symbols[index]: as_states[nxt]
+                for index, nxt in row.items()
+            }
+            for mask, row in table.items()
+        }
+        states = set(as_states.values())
+        finals = {
+            as_states[mask]
+            for mask in table
+            if mask & compiled.finals_mask
+        }
+        return DFA(
+            self.alphabet, states, as_states[compiled.start_mask], finals,
+            transitions,
+        )
 
     # ------------------------------------------------------------------
 

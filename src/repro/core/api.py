@@ -18,6 +18,13 @@ deduplicate repeated chunks, fan out over workers — use the corpus
 engine, :class:`repro.engine.ExtractionEngine`, which is the preferred
 corpus-level entry point and caches the certificates these procedures
 produce (see :mod:`repro.engine.cache`).
+
+All of the procedures here bottom out in automaton queries
+(membership, emptiness, product emptiness, determinization) that
+execute on the compiled integer/bitset kernel of
+:mod:`repro.automata.compiled`; the runtime additionally lowers
+certified plans onto that kernel at certify time, so certification is
+also when evaluation gets compiled — never per document or per chunk.
 """
 
 from __future__ import annotations

@@ -8,7 +8,13 @@ framework makes safely cacheable:
   certificate stays valid for every document.  The :class:`PlanCache`
   memoizes :class:`repro.runtime.planner.CertifiedPlan` objects keyed
   by a *fingerprint* of the (spanner, splitter registry) pair, so the
-  decision procedures run exactly once per program.
+  decision procedures run exactly once per program.  Certificates also
+  carry the plan's **compiled kernel artifact** (the split spanner
+  lowered onto the integer/bitset IR of
+  :mod:`repro.automata.compiled` at certify time), so cache hits
+  replay both the decision and the lowering — chunk runners, including
+  pool workers that receive the certificate's runner by pickling,
+  never re-lower.
 
 * **Chunk extraction.**  Real corpora repeat chunks — boilerplate
   sentences, shared records, quoted passages.  Because a split-correct

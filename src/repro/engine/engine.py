@@ -98,6 +98,22 @@ class Program:
             object.__setattr__(self, "_fingerprint", cached)
         return cached
 
+    def runner(self) -> SpannerLike:
+        """The chunk-level executable, resolved once per program.
+
+        VSet-automaton executables lower onto the compiled kernel
+        (:func:`repro.runtime.executor.as_runner`); fast executables
+        (regex, black boxes) pass through.  Cached so repeated runs —
+        and the engine's artifact accounting — see one lowering.
+        """
+        cached = self.__dict__.get("_runner")
+        if cached is None:
+            from repro.runtime.executor import as_runner
+
+            cached = as_runner(self.executable)
+            object.__setattr__(self, "_runner", cached)
+        return cached
+
 
 @dataclass
 class EngineResult:
@@ -190,6 +206,7 @@ class ExtractionEngine:
         self._plan_hits = 0
         self._certifications = 0
         self._certification_seconds = 0.0
+        self._artifacts_compiled = 0
 
     # ------------------------------------------------------------------
     # Planning
@@ -210,20 +227,33 @@ class ExtractionEngine:
             registry_fp=self._registry_fp,
         )
         self._plan_hits += cache.hits - before[0]
-        self._certifications += cache.misses - before[1]
+        missed = cache.misses - before[1]
+        self._certifications += missed
         self._certification_seconds += (cache.certification_seconds
                                         - before[2])
+        if missed:
+            # A fresh certificate lowered its split spanner onto the
+            # compiled kernel (at most once); replays never re-lower.
+            self._artifacts_compiled += certified.artifacts_compiled
         return certified
 
-    @staticmethod
     def _runner_for(
-        certified: CertifiedPlan, program: Program
+        self, certified: CertifiedPlan, program: Program
     ) -> SpannerLike:
-        """What evaluates chunks under this certificate."""
-        plan = certified.plan
-        if plan.mode != "whole" and plan.split_spanner is not None:
-            return plan.split_spanner
-        return program.executable
+        """What evaluates chunks under this certificate.
+
+        The certificate's compiled artifact when the plan carries one;
+        otherwise the program's own runner, lowered on first use (and
+        counted toward ``artifacts_compiled``).
+        """
+        runner = certified.chunk_runner()
+        if runner is not None:
+            return runner
+        fresh = "_runner" not in program.__dict__
+        runner = program.runner()
+        if fresh and getattr(runner, "freshly_lowered", False):
+            self._artifacts_compiled += 1
+        return runner
 
     @staticmethod
     def _chunks_of(
@@ -350,6 +380,7 @@ class ExtractionEngine:
             plan_cache_hits=self._plan_hits,
             certifications=self._certifications,
             certification_seconds=self._certification_seconds,
+            artifacts_compiled=self._artifacts_compiled,
             extraction_seconds=self._extraction_seconds,
             tuples_emitted=self._tuples_emitted,
         )

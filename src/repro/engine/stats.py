@@ -43,6 +43,9 @@ class EngineStats:
     certifications: int = 0
     #: Total seconds spent inside the decision procedures.
     certification_seconds: float = 0.0
+    #: Compiled kernel artifacts produced (lowerings); stays flat when
+    #: certificates and program runners are replayed from the caches.
+    artifacts_compiled: int = 0
     #: Total seconds spent splitting, scheduling and evaluating.
     extraction_seconds: float = 0.0
     #: Span tuples produced across all runs.
@@ -85,6 +88,7 @@ class EngineStats:
             "plan_cache_hits": self.plan_cache_hits,
             "certifications": self.certifications,
             "certification_seconds": self.certification_seconds,
+            "artifacts_compiled": self.artifacts_compiled,
             "extraction_seconds": self.extraction_seconds,
             "chunks_per_second": self.chunks_per_second,
             "tuples_emitted": self.tuples_emitted,
@@ -112,6 +116,8 @@ class EngineStats:
             certifications=self.certifications - before.certifications,
             certification_seconds=(self.certification_seconds
                                    - before.certification_seconds),
+            artifacts_compiled=(self.artifacts_compiled
+                                - before.artifacts_compiled),
             extraction_seconds=(self.extraction_seconds
                                 - before.extraction_seconds),
             tuples_emitted=self.tuples_emitted - before.tuples_emitted,
@@ -136,6 +142,8 @@ class EngineStats:
             certifications=self.certifications + other.certifications,
             certification_seconds=(self.certification_seconds
                                    + other.certification_seconds),
+            artifacts_compiled=(self.artifacts_compiled
+                                + other.artifacts_compiled),
             extraction_seconds=(self.extraction_seconds
                                 + other.extraction_seconds),
             tuples_emitted=self.tuples_emitted + other.tuples_emitted,

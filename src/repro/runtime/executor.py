@@ -29,6 +29,25 @@ def splitter_spans(splitter: SplitterLike, document: str) -> List[Span]:
                   key=lambda s: (s.begin, s.end))
 
 
+def as_runner(spanner: SpannerLike) -> SpannerLike:
+    """The chunk runner for ``spanner``.
+
+    VSet-automata are pinned to their compiled kernel artifact
+    (:class:`repro.runtime.fast.CompiledSpanner`): the lowering happens
+    here, once, and is then reused across every chunk of every document
+    — including on pool workers, which receive the prebuilt artifact by
+    pickling instead of re-lowering.  Other spanners (regex fast paths,
+    black boxes) run as-is.
+    """
+    from repro.spanners.vset_automaton import VSetAutomaton
+
+    if isinstance(spanner, VSetAutomaton):
+        from repro.runtime.fast import CompiledSpanner
+
+        return CompiledSpanner(spanner)
+    return spanner
+
+
 def evaluate_whole(spanner: SpannerLike, document: str) -> Set[SpanTuple]:
     """Baseline plan: evaluate the spanner on the whole document."""
     return set(spanner.evaluate(document))
@@ -45,9 +64,10 @@ def split_by(
     when split-correctness holds; use :class:`repro.runtime.planner.
     Planner` to certify that first.
     """
+    runner = as_runner(spanner)
     results: Set[SpanTuple] = set()
     for span in splitter_spans(splitter, document):
-        for t in spanner.evaluate(span.extract(document)):
+        for t in runner.evaluate(span.extract(document)):
             results.add(t.shift(span))
     return results
 
@@ -93,10 +113,11 @@ def evaluate_texts_parallel(
         return []
     if pool is not None:
         return list(pool.imap(_evaluate_text, texts, chunksize=chunksize))
+    runner = as_runner(spanner)
     if workers <= 1:
-        return [set(spanner.evaluate(text)) for text in texts]
+        return [set(runner.evaluate(text)) for text in texts]
     with multiprocessing.Pool(
-        processes=workers, initializer=_init_worker, initargs=(spanner,)
+        processes=workers, initializer=_init_worker, initargs=(runner,)
     ) as created:
         return list(created.imap(_evaluate_text, texts,
                                  chunksize=chunksize))
@@ -171,5 +192,7 @@ def map_corpus_sequential(
 ) -> List[Set[SpanTuple]]:
     """Sequential counterpart of :func:`map_corpus` (for baselines)."""
     if splitter is None:
-        return [evaluate_whole(spanner, doc) for doc in documents]
-    return [split_by(spanner, splitter, doc) for doc in documents]
+        runner = as_runner(spanner)
+        return [evaluate_whole(runner, doc) for doc in documents]
+    runner = as_runner(spanner)
+    return [split_by(runner, splitter, doc) for doc in documents]

@@ -178,6 +178,37 @@ class RegexSpanner:
         return results
 
 
+class CompiledSpanner:
+    """A VSet-automaton pinned to its compiled kernel artifact.
+
+    Produced when a plan is certified (:meth:`repro.runtime.planner.
+    Plan.lower`) or when the engine resolves a program's chunk runner:
+    the specification is lowered onto the integer/bitset IR of
+    :mod:`repro.automata.compiled` exactly once, and every chunk
+    evaluation — in-process or on a pool worker that received this
+    object by pickling — runs against the same artifact.
+    """
+
+    def __init__(self, specification: VSetAutomaton) -> None:
+        self.specification = specification
+        before = specification.lowerings
+        self._kernel = specification.compiled()
+        #: Whether constructing this wrapper actually lowered the
+        #: specification (vs. reusing its cached artifact) — what the
+        #: engine's ``artifacts_compiled`` counter records.
+        self.freshly_lowered = specification.lowerings > before
+
+    def svars(self):
+        return self.specification.svars()
+
+    def evaluate(self, document: str) -> Set[SpanTuple]:
+        self.specification.check_document(document)
+        return self._kernel.evaluate(document)
+
+    def __repr__(self) -> str:
+        return f"CompiledSpanner({self.specification!r})"
+
+
 def compiled_evaluator(spanner: VSetAutomaton) -> Callable[[str], Set[SpanTuple]]:
-    """The reference evaluator of a VSet-automaton as a callable."""
-    return spanner.evaluate
+    """The kernel-backed evaluator of a VSet-automaton as a callable."""
+    return CompiledSpanner(spanner).evaluate

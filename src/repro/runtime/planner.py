@@ -43,12 +43,36 @@ class RegisteredSplitter:
 
 @dataclass
 class Plan:
-    """An executable extraction plan."""
+    """An executable extraction plan.
+
+    ``compiled_runner`` pins the split spanner's compiled kernel
+    artifact; it is produced by :meth:`lower` — called at certify time
+    by :meth:`Planner.certify`, so execution (and every pool worker the
+    runner is shipped to) replays the lowering instead of repeating it
+    per chunk.
+    """
 
     mode: str                      # "split" or "whole"
     splitter: Optional[RegisteredSplitter]
     split_spanner: Optional[VSetAutomaton]
     self_splittable: bool = False
+    compiled_runner: Optional[object] = field(default=None, compare=False)
+
+    def lower(self) -> int:
+        """Lower the split spanner onto the compiled kernel.
+
+        Idempotent; returns how many artifacts *this call* produced
+        (0 or 1), which certification records for the engine's
+        statistics.
+        """
+        if (self.mode != "whole" and self.split_spanner is not None
+                and self.compiled_runner is None):
+            from repro.runtime.fast import CompiledSpanner
+
+            runner = CompiledSpanner(self.split_spanner)
+            self.compiled_runner = runner
+            return 1 if runner.freshly_lowered else 0
+        return 0
 
     def execute(
         self, spanner: VSetAutomaton, document: str,
@@ -56,7 +80,12 @@ class Plan:
     ) -> Set[SpanTuple]:
         if self.mode == "whole" or self.splitter is None:
             return set(spanner.evaluate(document))
-        runner = self.split_spanner if self.split_spanner is not None else spanner
+        if self.compiled_runner is not None:
+            runner: object = self.compiled_runner
+        elif self.split_spanner is not None:
+            runner = self.split_spanner
+        else:
+            runner = spanner
         target = self.splitter.runtime_splitter()
         if workers:
             return split_by_parallel(runner, target, document, workers)
@@ -81,6 +110,9 @@ class CertifiedPlan:
     fingerprint: Optional[str] = None
     #: How many times this certificate has been reused from a cache.
     reuses: int = field(default=0, compare=False)
+    #: Compiled kernel artifacts produced while certifying (0 or 1);
+    #: replays of the certificate never re-lower.
+    artifacts_compiled: int = field(default=0, compare=False)
 
     @property
     def mode(self) -> str:
@@ -89,6 +121,21 @@ class CertifiedPlan:
     @property
     def splitter_name(self) -> Optional[str]:
         return self.plan.splitter.name if self.plan.splitter else None
+
+    def chunk_runner(self) -> Optional[object]:
+        """The chunk evaluator this certificate carries, if any.
+
+        The plan's compiled split-spanner artifact (or the split
+        spanner itself if it was never lowered); ``None`` when the
+        certificate implies running the program's own executable —
+        callers fall back to that themselves.
+        """
+        plan = self.plan
+        if plan.mode != "whole" and plan.split_spanner is not None:
+            if plan.compiled_runner is not None:
+                return plan.compiled_runner
+            return plan.split_spanner
+        return None
 
     def execute(
         self, spanner: VSetAutomaton, document: str,
@@ -175,8 +222,15 @@ class Planner:
         document (and every future corpus) as long as the spanner and
         the splitter registry are unchanged — which is exactly what
         ``fingerprint`` lets a cache check.
+
+        Certification is also when the plan is *lowered*: the split
+        spanner compiles onto the integer/bitset kernel here, once, so
+        executing the certificate — in-process or on pool workers —
+        never re-lowers per chunk.
         """
         start = time.perf_counter()
         plan = self.plan(spanner)
+        artifacts = plan.lower()
         elapsed = time.perf_counter() - start
-        return CertifiedPlan(plan, elapsed, fingerprint)
+        return CertifiedPlan(plan, elapsed, fingerprint,
+                             artifacts_compiled=artifacts)

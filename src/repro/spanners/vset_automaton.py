@@ -28,6 +28,7 @@ from typing import (
     Iterable,
     List,
     Mapping,
+    Optional,
     Sequence,
     Set,
     Tuple,
@@ -67,6 +68,44 @@ class VSetAutomaton:
                 "as symmetric difference)"
             )
         self.nfa = nfa
+        self._var_order: Optional[Tuple[Tuple, Dict]] = None
+        self._compiled = None
+        self._compiled_version: Optional[int] = None
+        #: How many times this spanner was actually lowered (the
+        #: runtime's artifact accounting reads the delta).
+        self.lowerings = 0
+
+    @property
+    def variable_order(self) -> Tuple[Tuple, Dict]:
+        """``(sorted variables, variable -> index)``, computed once.
+
+        Every evaluation and the validity tracker consume the same
+        fixed order; hoisting it here removes the per-call sort and
+        index rebuild from the hot path.
+        """
+        if self._var_order is None:
+            variables = tuple(sorted(self.variables, key=str))
+            self._var_order = (
+                variables, {var: k for k, var in enumerate(variables)}
+            )
+        return self._var_order
+
+    def compiled(self):
+        """The compiled evaluation artifact (integer/bitset kernel).
+
+        Lowered at most once per underlying-NFA mutation epoch and
+        shared by every evaluation of this spanner — the runtime's
+        certified plans pin this artifact so pool workers never
+        re-lower.  See :mod:`repro.automata.compiled`.
+        """
+        version = self.nfa._version
+        if self._compiled is None or self._compiled_version != version:
+            from repro.automata.compiled import compile_vset_automaton
+
+            self._compiled = compile_vset_automaton(self)
+            self._compiled_version = version
+            self.lowerings += 1
+        return self._compiled
 
     # ------------------------------------------------------------------
     # Convenience constructors
@@ -124,20 +163,40 @@ class VSetAutomaton:
     def evaluate(self, document: Sequence[Symbol]) -> Set[SpanTuple]:
         """The span relation ``A(d)``: exact enumeration of all tuples.
 
+        Runs configurations ``(position, state_id, status)`` against
+        the compiled kernel (:meth:`compiled`): per-state move tables
+        over dense integer ids, with the suffix-acceptance collapse —
+        as soon as every variable is closed the remaining run is pure
+        language acceptance, answered by a table computed with backward
+        bitset sweeps.  Agrees exactly with
+        :meth:`evaluate_interpreted`.
+        """
+        self.check_document(document)
+        return self.compiled().evaluate(document)
+
+    def check_document(self, document: Sequence[Symbol]) -> None:
+        """Reject documents with symbols outside the doc alphabet (the
+        shared guard of every evaluation entry point)."""
+        unknown = set(document) - self.doc_alphabet
+        if unknown:
+            symbol = next(iter(unknown))
+            raise ValueError(f"document symbol {symbol!r} not in alphabet")
+
+    def evaluate_interpreted(
+        self, document: Sequence[Symbol]
+    ) -> Set[SpanTuple]:
+        """Reference evaluation over the dict-of-sets NFA tables.
+
         Configurations are ``(position, state, status)`` where status
         tracks, per variable, whether it is unopened, open since some
-        position, or closed over a span.  As soon as every variable is
-        closed the remaining run is pure language acceptance, which is
-        answered by a precomputed suffix-acceptance table instead of
-        further search.
+        position, or closed over a span.  Kept as the ground truth the
+        compiled path is validated against (``tests/test_compiled.py``)
+        and as the baseline the kernel benchmark measures.
         """
-        variables = sorted(self.variables, key=str)
+        variables, var_index = self.variable_order
         n = len(document)
-        for symbol in document:
-            if symbol not in self.doc_alphabet:
-                raise ValueError(f"document symbol {symbol!r} not in alphabet")
+        self.check_document(document)
         finishable = self._suffix_acceptance(document)
-        var_index = {var: k for k, var in enumerate(variables)}
         initial_status: Tuple = tuple(None for _ in variables)
 
         def all_closed(status: Tuple) -> bool:
@@ -254,14 +313,13 @@ class VSetAutomaton:
         accepting state is all-closed.  Size ``3^|V|`` — the variable
         sets in the framework are tiny.
         """
-        variables = sorted(self.variables, key=str)
+        variables, _ = self.variable_order
         alphabet = self.doc_alphabet | gamma(self.variables)
         initial = tuple(0 for _ in variables)
         transitions = []
         states = set()
         queue = deque([initial])
         states.add(initial)
-        index = {var: k for k, var in enumerate(variables)}
         while queue:
             status = queue.popleft()
             for symbol in self.doc_alphabet:
@@ -307,7 +365,7 @@ class VSetAutomaton:
         complement_finals = (states - tracker.finals) | {sink}
         invalid = NFA(alphabet, states, tracker.initial, complement_finals,
                       transitions)
-        return self.nfa.product(invalid).is_empty()
+        return self.nfa.product_is_empty(invalid)
 
     def to_functional(self) -> "VSetAutomaton":
         """An equivalent functional VSet-automaton (validity filter)."""

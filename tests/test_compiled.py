@@ -1,0 +1,302 @@
+"""Property tests for the compiled automaton kernel.
+
+The kernel (:mod:`repro.automata.compiled`) must be *observationally
+identical* to the dict-of-sets interpreter it replaces: randomized
+automata — including epsilon-heavy and empty-language cases — are
+checked for exact agreement between the compiled paths
+(``NFA.accepts``, ``NFA.is_empty``, ``NFA.to_dfa``,
+``NFA.product_is_empty``, ``VSetAutomaton.evaluate``) and the
+interpreted references (``accepts_interpreted``,
+``evaluate_interpreted``, reachability over the materialized product).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.compiled import LazyDFA, bits, compile_nfa
+from repro.automata.nfa import EPSILON, NFA
+from repro.spanners.refwords import Close, Open, gamma
+from repro.spanners.vset_automaton import VSetAutomaton
+
+ALPHABET = "ab"
+MAX_STATES = 6
+
+SETTINGS = dict(max_examples=60, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def random_nfas(draw, alphabet: str = ALPHABET, epsilon_heavy: bool = False):
+    """A random small NFA; epsilon transitions always possible, and in
+    ``epsilon_heavy`` mode they dominate the transition relation."""
+    n = draw(st.integers(min_value=1, max_value=MAX_STATES))
+    symbols = list(alphabet) + [EPSILON] * (4 if epsilon_heavy else 1)
+    n_transitions = draw(st.integers(min_value=0, max_value=3 * n))
+    transitions = [
+        (
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.sampled_from(symbols)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+        )
+        for _ in range(n_transitions)
+    ]
+    finals = draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+    return NFA(alphabet, range(n), 0, finals, transitions)
+
+
+@st.composite
+def random_vset_automata(draw, alphabet: str = "ab", variables=("x", "y")):
+    """A random VSet-automaton over ``alphabet`` and up to two
+    variables; not necessarily functional, so evaluation must cope with
+    dead variable operations and empty outputs."""
+    n_vars = draw(st.integers(min_value=0, max_value=len(variables)))
+    used = frozenset(variables[:n_vars])
+    ops = sorted(gamma(used)) if used else []
+    n = draw(st.integers(min_value=1, max_value=MAX_STATES))
+    symbols = list(alphabet) + ops + [EPSILON]
+    n_transitions = draw(st.integers(min_value=0, max_value=4 * n))
+    transitions = [
+        (
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.sampled_from(symbols)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+        )
+        for _ in range(n_transitions)
+    ]
+    finals = draw(st.sets(st.integers(min_value=0, max_value=n - 1)))
+    nfa = NFA(frozenset(alphabet) | gamma(used), range(n), 0, finals,
+              transitions)
+    return VSetAutomaton(alphabet, used, nfa)
+
+
+def words_upto(alphabet: str, max_length: int):
+    from tests.reference import documents_upto
+
+    return list(documents_upto(alphabet, max_length))
+
+
+# ----------------------------------------------------------------------
+# NFA-level agreement
+# ----------------------------------------------------------------------
+
+
+@settings(**SETTINGS)
+@given(random_nfas())
+def test_compiled_accepts_agrees(nfa):
+    for word in words_upto(ALPHABET, 4):
+        assert nfa.accepts(word) == nfa.accepts_interpreted(word)
+
+
+@settings(**SETTINGS)
+@given(random_nfas(epsilon_heavy=True))
+def test_compiled_accepts_agrees_epsilon_heavy(nfa):
+    for word in words_upto(ALPHABET, 4):
+        assert nfa.accepts(word) == nfa.accepts_interpreted(word)
+
+
+@settings(**SETTINGS)
+@given(random_nfas())
+def test_compiled_emptiness_agrees(nfa):
+    interpreted_empty = not (nfa.reachable_states() & nfa.finals)
+    assert nfa.is_empty() == interpreted_empty
+    assert nfa.is_empty() == (nfa.shortest_word() is None)
+
+
+@settings(**SETTINGS)
+@given(random_nfas(), random_nfas())
+def test_product_emptiness_agrees(left, right):
+    product = left.product(right)
+    interpreted_empty = not (product.reachable_states() & product.finals)
+    assert left.product_is_empty(right) == interpreted_empty
+
+
+@settings(**SETTINGS)
+@given(random_nfas(epsilon_heavy=True))
+def test_to_dfa_agrees(nfa):
+    dfa = nfa.to_dfa()
+    for word in words_upto(ALPHABET, 4):
+        assert dfa.accepts(word) == nfa.accepts_interpreted(word)
+
+
+def test_empty_language_cases():
+    nothing = NFA(ALPHABET, [0], 0, [], [])
+    assert nothing.is_empty()
+    assert not nothing.accepts("")
+    assert not nothing.accepts("ab")
+    # Final state unreachable from the initial state.
+    stranded = NFA(ALPHABET, [0, 1], 0, [1], [(1, "a", 1)])
+    assert stranded.is_empty()
+    assert not stranded.accepts("a")
+    # Epsilon-only acceptance of the empty word.
+    eps_only = NFA(ALPHABET, [0, 1], 0, [1], [(0, EPSILON, 1)])
+    assert not eps_only.is_empty()
+    assert eps_only.accepts("")
+    assert not eps_only.accepts("a")
+
+
+# ----------------------------------------------------------------------
+# Invalidation and the lazy DFA
+# ----------------------------------------------------------------------
+
+
+def test_mutation_invalidates_compiled_form_and_caches():
+    nfa = NFA(ALPHABET, [0, 1], 0, [1], [(0, "a", 1)])
+    assert nfa.accepts("a")
+    assert not nfa.accepts("b")
+    assert nfa.epsilon_closure({0}) == frozenset({0})
+    assert nfa.symbols_from(0) == frozenset({"a"})
+    nfa.add_transition(0, "b", 1)
+    nfa.add_transition(0, EPSILON, 1)
+    assert nfa.accepts("b")
+    assert nfa.accepts("")
+    assert nfa.epsilon_closure({0}) == frozenset({0, 1})
+    assert nfa.symbols_from(0) == frozenset({"a", "b", EPSILON})
+
+
+def test_lazy_dfa_lru_bound_and_agreement():
+    # (a|b)* b (a|b)^2: subset construction has 8+ states, so a cap of
+    # 3 must evict — and acceptance must stay exact throughout.
+    nfa = NFA(
+        ALPHABET,
+        range(4),
+        0,
+        [3],
+        [(0, "a", 0), (0, "b", 0), (0, "b", 1),
+         (1, "a", 2), (1, "b", 2), (2, "a", 3), (2, "b", 3)],
+    )
+    compiled = compile_nfa(nfa)
+    lazy = LazyDFA(compiled, max_states=3)
+    for word in words_upto(ALPHABET, 6):
+        current = compiled.start_mask
+        accepted = True
+        for symbol in word:
+            current = lazy.next(current, compiled.symbol_id[symbol])
+            if not current:
+                accepted = False
+                break
+        accepted = accepted and bool(current & compiled.finals_mask)
+        assert accepted == nfa.accepts_interpreted(word)
+    assert len(lazy) <= 3
+    assert lazy.evictions > 0
+    assert lazy.hits > 0
+
+
+def test_lazy_dfa_honors_requested_bound():
+    nfa = NFA(ALPHABET, range(2), 0, [1], [(0, "a", 1), (1, "b", 0)])
+    compiled = nfa.compiled()
+    default = compiled.lazy_dfa()
+    assert default.max_states == 4096
+    capped = compiled.lazy_dfa(max_states=64)
+    assert capped.max_states == 64
+    assert compiled.lazy_dfa(max_states=64) is capped  # cached per bound
+
+
+def test_bits_enumerates_set_bits():
+    assert list(bits(0)) == []
+    assert list(bits(0b101001)) == [0, 3, 5]
+
+
+def test_compiled_artifacts_pickle():
+    nfa = NFA(ALPHABET, range(3), 0, [2],
+              [(0, "a", 1), (1, EPSILON, 2), (2, "b", 0)])
+    compiled = nfa.compiled()
+    compiled.accepts("ab")  # populate the lazy DFA memo
+    clone = pickle.loads(pickle.dumps(compiled))
+    for word in words_upto(ALPHABET, 4):
+        assert clone.accepts(word) == nfa.accepts_interpreted(word)
+
+
+# ----------------------------------------------------------------------
+# VSet-automaton evaluation agreement
+# ----------------------------------------------------------------------
+
+
+@settings(**SETTINGS)
+@given(random_vset_automata())
+def test_compiled_evaluate_agrees(vsa):
+    for document in words_upto("ab", 3):
+        assert vsa.evaluate(document) == vsa.evaluate_interpreted(document)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_vset_automata(alphabet="a", variables=("x",)))
+def test_compiled_evaluate_agrees_unary(vsa):
+    for document in words_upto("a", 4):
+        assert vsa.evaluate(document) == vsa.evaluate_interpreted(document)
+
+
+def test_compiled_evaluate_epsilon_heavy_chain():
+    # An epsilon chain threaded between the variable operations.
+    x_open, x_close = Open("x"), Close("x")
+    nfa = NFA(
+        frozenset("ab") | gamma({"x"}),
+        range(6),
+        0,
+        [5],
+        [
+            (0, EPSILON, 1), (1, x_open, 2), (2, EPSILON, 3),
+            (3, "a", 3), (3, "b", 3), (3, x_close, 4), (4, EPSILON, 5),
+            (5, "a", 5), (5, "b", 5),
+        ],
+    )
+    vsa = VSetAutomaton("ab", {"x"}, nfa)
+    for document in words_upto("ab", 4):
+        assert vsa.evaluate(document) == vsa.evaluate_interpreted(document)
+
+
+def test_compiled_evaluate_empty_language():
+    x_open = Open("x")
+    # x is opened but never closed: no valid run, empty output.
+    nfa = NFA(
+        frozenset("a") | gamma({"x"}),
+        range(2),
+        0,
+        [1],
+        [(0, x_open, 1), (1, "a", 1)],
+    )
+    vsa = VSetAutomaton("a", {"x"}, nfa)
+    for document in ["", "a", "aa"]:
+        assert vsa.evaluate(document) == set()
+        assert vsa.evaluate_interpreted(document) == set()
+
+
+def test_variable_order_cached_and_stable():
+    x_open, x_close = Open("x"), Close("x")
+    nfa = NFA(
+        frozenset("a") | gamma({"x"}),
+        range(3),
+        0,
+        [2],
+        [(0, x_open, 1), (1, "a", 1), (1, x_close, 2)],
+    )
+    vsa = VSetAutomaton("a", {"x"}, nfa)
+    first = vsa.variable_order
+    assert first is vsa.variable_order  # computed once
+    variables, index = first
+    assert variables == ("x",)
+    assert index == {"x": 0}
+
+
+def test_vsa_compiled_tracks_nfa_mutation():
+    x_open, x_close = Open("x"), Close("x")
+    nfa = NFA(
+        frozenset("ab") | gamma({"x"}),
+        range(3),
+        0,
+        [2],
+        [(0, x_open, 1), (1, "a", 1), (1, x_close, 2)],
+    )
+    vsa = VSetAutomaton("ab", {"x"}, nfa)
+    before = vsa.evaluate("aa")
+    assert before == vsa.evaluate_interpreted("aa")
+    nfa.add_transition(1, "b", 1)  # widen the captured language
+    after = vsa.evaluate("ab")
+    assert after == vsa.evaluate_interpreted("ab")
+    assert any(t["x"].length == 2 for t in after)

@@ -285,6 +285,23 @@ class TestExtractionEngine:
         # Every chunk of the second run came from the cache.
         assert stats.chunks_evaluated == evaluated_once
 
+    def test_compiled_artifact_produced_once_per_certified_plan(self):
+        spanner = a_run_extractor()
+        engine = ExtractionEngine(registry())
+        engine.run(DOCS, spanner)
+        engine.run(DOCS, spanner)
+        stats = engine.stats()
+        # The kernel lowering happens with certification (or the first
+        # runner resolution) and is replayed afterward — one artifact
+        # across repeated runs of the same program.
+        assert stats.certifications == 1
+        assert stats.artifacts_compiled == 1
+        # A second engine sharing the plan cache replays the stored
+        # certificate without re-lowering the plan's artifact.
+        shared = ExtractionEngine(registry(), plan_cache=engine.plan_cache)
+        shared.run(DOCS, spanner)
+        assert shared.stats().certifications == 0
+
     def test_whole_document_fallback_still_correct(self):
         crossing = compile_regex_formula(
             ".*y{a a}.*|y{a a}.*|.*y{a a}|y{a a}", TXT
