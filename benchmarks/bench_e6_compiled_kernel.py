@@ -1,0 +1,272 @@
+"""E6 — Compiled automaton kernel: bitset IR vs the interpreter.
+
+Not a paper experiment but the substrate every other benchmark stands
+on: PR 2 lowers all automaton execution onto the integer/bitset kernel
+of :mod:`repro.automata.compiled` (dense state ids, precomputed
+epsilon closures, table-lookup steps, lazy-DFA memoization), with
+lowering pinned at certify time so chunk runners never re-compile.
+
+This benchmark measures the kernel against the dict-of-sets
+interpreted path it replaced (kept as
+``VSetAutomaton.evaluate_interpreted``) on the two workloads the
+acceptance criteria name:
+
+* the **E1 n-gram workload** — token-bigram extraction by VSet-
+  automaton over the prose alphabet;
+* the **E5 engine workload** — the a-run extractor run corpus-wide by
+  :class:`repro.engine.ExtractionEngine`, where only the chunk
+  evaluation path differs between the two engines (both get identical
+  split plans and chunk-cache dedup).
+
+Claims under test: >= 3x speedup on both workloads, identical results,
+and compiled artifacts produced exactly once per certified plan even
+across repeated runs (``EngineStats.artifacts_compiled``).
+
+``python -m benchmarks.bench_e6_compiled_kernel --smoke`` runs a
+scaled-down version with a relaxed (2x) threshold as a CI regression
+gate.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List
+
+import pytest
+
+from benchmarks.conftest import report, timed
+from benchmarks.corpora import boilerplate_corpus
+from repro.engine import ExtractionEngine, Program
+from repro.runtime import RegisteredSplitter
+from repro.runtime.fast import FastSeparatorSplitter
+from repro.spanners.regex_formulas import compile_regex_formula
+from repro.spanners.vset_automaton import VSetAutomaton
+from repro.splitters.builders import separator_splitter, token_ngram_splitter
+
+ALPHABET = frozenset("abcdefgh .")
+
+
+class InterpretedSpanner:
+    """Forces the pre-kernel dict-of-sets evaluation path.
+
+    Presents the usual ``evaluate`` interface (so the engine treats it
+    like any fast executable) but runs
+    :meth:`repro.spanners.vset_automaton.VSetAutomaton.
+    evaluate_interpreted` on every chunk — the baseline the kernel is
+    measured against.
+    """
+
+    def __init__(self, specification: VSetAutomaton) -> None:
+        self.specification = specification
+
+    def svars(self):
+        return self.specification.svars()
+
+    def evaluate(self, document: str):
+        return self.specification.evaluate_interpreted(document)
+
+
+def ngram_extractor(n: int = 2) -> VSetAutomaton:
+    """The E1 workload: token n-grams as a VSet-automaton."""
+    return token_ngram_splitter(ALPHABET, n, "x")
+
+
+def arun_extractor() -> VSetAutomaton:
+    """The E5 workload: delimiter-bounded ``a``-runs."""
+    return compile_regex_formula(
+        ".*(\\.| )y{a+}(\\.| ).*|y{a+}(\\.| ).*|.*(\\.| )y{a+}|y{a+}",
+        ALPHABET,
+    )
+
+
+def sentence_registry() -> List[RegisteredSplitter]:
+    """Sentence-level chunks: big enough that chunk evaluation (what
+    the kernel accelerates) dominates splitting/cache bookkeeping."""
+    return [
+        RegisteredSplitter(
+            "sentences", separator_splitter(ALPHABET, "."),
+            priority=1, executor=FastSeparatorSplitter("."),
+        ),
+    ]
+
+
+def ngram_corpus(n_documents: int) -> List[str]:
+    return boilerplate_corpus(
+        n_documents=n_documents, sentences_per_document=2,
+        distinct_sentences=max(4, n_documents // 2), seed=29,
+    )
+
+
+def engine_corpus(n_documents: int) -> List[str]:
+    # Enough distinct sentences that chunk evaluation (the kernel's
+    # territory) outweighs the splitting/merging work that is
+    # identical on both sides of the comparison.
+    return boilerplate_corpus(
+        n_documents=n_documents, sentences_per_document=8,
+        distinct_sentences=4 * n_documents, seed=31,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shared measurement
+# ----------------------------------------------------------------------
+
+
+def measure_ngram(n_documents: int, repeats: int = 2):
+    """(speedup, compiled seconds, interpreted seconds) on E1 bigrams."""
+    extractor = ngram_extractor(2)
+    docs = ngram_corpus(n_documents)
+    extractor.compiled()  # lower once, outside the timed region
+    compiled_results = [extractor.evaluate(d) for d in docs]
+    interpreted_results = [extractor.evaluate_interpreted(d) for d in docs]
+    assert compiled_results == interpreted_results
+    compiled = timed(lambda: [extractor.evaluate(d) for d in docs],
+                     repeats=repeats)
+    interpreted = timed(
+        lambda: [extractor.evaluate_interpreted(d) for d in docs],
+        repeats=repeats,
+    )
+    return interpreted / max(compiled, 1e-9), compiled, interpreted
+
+
+def measure_engine(n_documents: int):
+    """(speedup, compiled stats, interpreted stats) on the E5 engine
+    workload; also asserts result equality and artifacts-once."""
+    corpus = engine_corpus(n_documents)
+    specification = arun_extractor()
+
+    kernel_engine = ExtractionEngine(sentence_registry(), workers=0,
+                                     batch_size=8)
+    kernel_program = Program(specification, name="kernel")
+    kernel_result = kernel_engine.run(corpus, kernel_program)
+    kernel_engine.run(corpus, kernel_program)  # replay: no re-lowering
+    kernel_stats = kernel_engine.stats()
+
+    interpreted_engine = ExtractionEngine(sentence_registry(), workers=0,
+                                          batch_size=8)
+    interpreted_program = Program(
+        InterpretedSpanner(specification), specification=specification,
+        name="interpreted",
+    )
+    interpreted_result = interpreted_engine.run(corpus, interpreted_program)
+    interpreted_stats = interpreted_engine.stats()
+
+    assert kernel_result.by_document == interpreted_result.by_document
+    # Compiled artifacts are produced exactly once per certified plan,
+    # even across repeated runs; the interpreted engine never lowers.
+    assert kernel_stats.certifications == 1
+    assert kernel_stats.artifacts_compiled == 1
+    assert interpreted_stats.artifacts_compiled == 0
+    # Both engines did identical splitting/dedup work; only the chunk
+    # evaluation path differs.
+    assert kernel_stats.chunks_evaluated == interpreted_stats.chunks_evaluated
+    speedup = (interpreted_stats.extraction_seconds
+               / max(kernel_stats.extraction_seconds, 1e-9))
+    return speedup, kernel_stats, interpreted_stats
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+
+
+def test_premise_compiled_agrees_on_both_workloads():
+    extractor = ngram_extractor(2)
+    arun = arun_extractor()
+    for document in ngram_corpus(4)[:2] + engine_corpus(2)[:1]:
+        assert extractor.evaluate(document) == \
+            extractor.evaluate_interpreted(document)
+        assert arun.evaluate(document) == arun.evaluate_interpreted(document)
+
+
+@pytest.mark.benchmark(group="e6-kernel")
+def test_e6_ngram_kernel_speedup(benchmark):
+    speedup, compiled, interpreted = benchmark.pedantic(
+        lambda: measure_ngram(n_documents=10), rounds=1, iterations=1,
+    )
+    report(
+        "E6 n-gram",
+        "no paper claim (kernel refactor)",
+        f"{speedup:.2f}x vs interpreted VSA evaluation "
+        f"({compiled * 1e3:.0f}ms vs {interpreted * 1e3:.0f}ms)",
+    )
+    assert speedup >= 3.0
+
+
+@pytest.mark.benchmark(group="e6-kernel")
+def test_e6_engine_kernel_speedup(benchmark):
+    speedup, kernel_stats, interpreted_stats = benchmark.pedantic(
+        lambda: measure_engine(n_documents=24), rounds=1, iterations=1,
+    )
+    report(
+        "E6 engine",
+        "no paper claim (kernel refactor)",
+        f"{speedup:.2f}x vs interpreted chunk runner "
+        f"({kernel_stats.extraction_seconds:.3f}s vs "
+        f"{interpreted_stats.extraction_seconds:.3f}s), "
+        f"artifacts compiled once "
+        f"({kernel_stats.artifacts_compiled})",
+    )
+    assert speedup >= 3.0
+
+
+# ----------------------------------------------------------------------
+# CI smoke gate
+# ----------------------------------------------------------------------
+
+
+def run_smoke() -> int:
+    """Scaled-down kernel regression gate for CI.
+
+    Relaxed 2x thresholds absorb runner noise; a kernel regression
+    (agreement failure, re-lowering, or loss of the speedup) exits
+    nonzero and fails the build.
+    """
+    failures = []
+
+    ngram_speedup, compiled, interpreted = measure_ngram(
+        n_documents=6, repeats=1
+    )
+    print(f"[e6-smoke] n-gram: {ngram_speedup:.2f}x "
+          f"({compiled * 1e3:.0f}ms vs {interpreted * 1e3:.0f}ms)")
+    if ngram_speedup < 2.0:
+        failures.append(
+            f"n-gram kernel speedup {ngram_speedup:.2f}x < 2x"
+        )
+
+    engine_speedup, kernel_stats, _ = measure_engine(n_documents=8)
+    print(f"[e6-smoke] engine: {engine_speedup:.2f}x, "
+          f"artifacts compiled {kernel_stats.artifacts_compiled}, "
+          f"certifications {kernel_stats.certifications}")
+    if engine_speedup < 2.0:
+        failures.append(
+            f"engine kernel speedup {engine_speedup:.2f}x < 2x"
+        )
+
+    for failure in failures:
+        print(f"[e6-smoke] FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("[e6-smoke] ok")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="E6 compiled-kernel benchmark",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the scaled-down CI regression gate",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    parser.error("run under pytest for the full benchmark, "
+                 "or pass --smoke")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
