@@ -4,24 +4,39 @@ A from-scratch implementation of the document-spanner framework of
 Doleschal, Kimelfeld, Martens, Nahshon and Neven: regular spanners
 (regex formulas and VSet-automata), splitters, and the decision
 procedures for split-correctness, splittability and self-splittability
-with their tractable fragments, together with a runtime that exploits
-split-correctness for parallel and incremental evaluation.
+with their tractable fragments, together with a runtime and corpus
+engine that exploit split-correctness for parallel, incremental and
+cached evaluation.
 
-Quickstart::
+Quickstart — the fluent query API is the front door::
 
-    from repro import compile_regex_formula, token_splitter
-    from repro import is_self_splittable, split_by
+    from repro import Q, Spanner
 
-    alphabet = frozenset("ab .")
-    extractor = compile_regex_formula(".*( )y{a+}( ).*", alphabet)
-    tokens = token_splitter(alphabet)
-    if is_self_splittable(extractor, tokens):
-        results = split_by(extractor, tokens, "aa ab ba aa.")
+    spanner = Spanner.regex(".*( )y{a+}( ).*|y{a+}( ).*|.*( )y{a+}|y{a+}",
+                            alphabet="ab .")
+    results = Q(spanner).split_by("tokens").workers(4).over(corpus)
+    for doc_id, tuples in results.stream():    # lazy, certified once
+        print(doc_id, results.explain()["theorem"], tuples)
 
-See DESIGN.md for the paper-to-module map and EXPERIMENTS.md for the
-reproduced results.
+:class:`Spanner` carries the spanner algebra as operators (``|``,
+``&``, ``-``, ``.project``, ``.join``); :class:`Splitter` names the
+paper's splitter catalogue; :meth:`ResultSet.explain` reports the
+certified plan, the selected theorem, and the engine statistics.  The
+theorem-level entry points (``is_self_splittable``, ``split_correct``,
+...) and the corpus engine remain available below the fluent surface.
+
+Errors raised by the documented surface derive from
+:class:`repro.errors.ReproError`.  See DESIGN.md for the
+paper-to-module map and EXPERIMENTS.md for the reproduced results.
 """
 
+from repro.errors import (
+    CertificationError,
+    NotFunctionalError,
+    ReproError,
+    UnknownSplitterError,
+)
+from repro.query import Q, Query, ResultSet, Spanner, Splitter
 from repro.core import (
     AnnotatedSplitter,
     BlackBoxSpanner,
@@ -82,11 +97,30 @@ from repro.runtime import (
     split_by,
     split_by_parallel,
 )
-from repro.engine import Corpus, ExtractionEngine
+from repro.engine import Corpus, Document, ExtractionEngine, Program
+from repro.runtime import RegisteredSplitter
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    # The fluent query API (the documented front door).
+    "Q",
+    "Query",
+    "Spanner",
+    "Splitter",
+    "ResultSet",
+    # Typed exception hierarchy.
+    "ReproError",
+    "NotFunctionalError",
+    "CertificationError",
+    "UnknownSplitterError",
+    # Corpus engine.
+    "Corpus",
+    "Document",
+    "ExtractionEngine",
+    "Program",
+    "RegisteredSplitter",
+    # Theorem-level procedures and building blocks.
     "AnnotatedSplitter",
     "BlackBoxSpanner",
     "Span",
@@ -139,6 +173,4 @@ __all__ = [
     "split_by_parallel",
     "IncrementalExtractor",
     "Planner",
-    "Corpus",
-    "ExtractionEngine",
 ]

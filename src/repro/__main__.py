@@ -1,5 +1,10 @@
 """Command-line interface: analyze programs, run corpus extraction.
 
+Both subcommands are thin shells over the fluent query API
+(:mod:`repro.query`) — the CLI builds the same :class:`repro.query.Q`
+chain a notebook would, so splitter names, certification behaviour and
+explain output can never diverge between the two surfaces.
+
 The Introduction's debugging interface as a CLI::
 
     python -m repro analyze --pattern '.*( )y{a+}( ).*|y{a+}( ).*|.*( )y{a+}|y{a+}' \
@@ -12,9 +17,9 @@ splittability, plus the recommended plan.  The corpus engine
     python -m repro engine --pattern '...' --alphabet 'ab .' \
         --text 'aa ab a.' --text 'aa ab a.' --workers 4
 
-which certifies once, extracts over all documents with chunk
-deduplication, and reports per-document tuple counts plus the engine
-statistics (cache hit rates, certification time, throughput).
+which certifies once, streams per-document tuple counts as batches
+complete, and reports the plan explanation (theorem, procedure,
+compiled artifact) plus the engine statistics.
 """
 
 from __future__ import annotations
@@ -22,78 +27,65 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.runtime.planner import Planner, RegisteredSplitter
-from repro.spanners.regex_formulas import compile_regex_formula
+from repro.errors import ReproError
+from repro.query import Q, Query, Spanner
 
 
-def _build_splitter(name: str, alphabet):
-    from repro.splitters import builders
+def _build_query(args) -> Query:
+    """The fluent query shared by both subcommands."""
+    spanner = Spanner.regex(args.pattern, frozenset(args.alphabet))
+    names = [n.strip() for n in args.splitters.split(",") if n.strip()]
+    query = Q(spanner).split_by(*names)
+    if getattr(args, "method", None) is not None:
+        query = query.method(args.method)
+    if getattr(args, "workers", None) is not None:
+        query = query.workers(args.workers)
+    # `is not None`, not truthiness: 0 must reach the scheduler's
+    # validation instead of silently keeping the default.
+    if getattr(args, "batch_size", None) is not None:
+        query = query.batch_size(args.batch_size)
+    return query
 
-    if name == "tokens":
-        return builders.token_splitter(alphabet)
-    if name == "sentences":
-        return builders.sentence_splitter(alphabet)
-    if name == "paragraphs":
-        return builders.paragraph_splitter(alphabet)
-    if name == "records":
-        return builders.record_splitter(alphabet)
-    if name == "whole":
-        return builders.whole_document_splitter(alphabet)
-    if name.startswith("ngram"):
-        return builders.token_ngram_splitter(alphabet, int(name[5:] or 2))
-    if name.startswith("window"):
-        return builders.fixed_window_splitter(alphabet, int(name[6:] or 8))
-    raise SystemExit(f"unknown splitter {name!r}; try tokens, sentences, "
-                     "paragraphs, records, whole, ngram<N>, window<N>")
+
+def _print_plan(explain: dict) -> None:
+    if explain["mode"] == "split":
+        extra = "self-splittable" if explain["self_splittable"] else \
+            "via canonical split-spanner"
+        print(f"plan: split by {explain['splitter']!r} ({extra})")
+    else:
+        print("plan: whole-document evaluation (no certified splitter)")
 
 
 def analyze(args) -> int:
-    alphabet = frozenset(args.alphabet)
     try:
-        spanner = compile_regex_formula(args.pattern, alphabet)
-    except ValueError as error:
+        query = _build_query(args)
+        print(f"pattern:  {args.pattern}")
+        print(f"alphabet: {sorted(frozenset(args.alphabet))}")
+        print()
+        print(f"{'splitter':<12} {'disjoint':<9} {'self-split':<11} "
+              "splittable")
+        for row in query.analyse():
+            splittable = "?" if row.splittable is None else \
+                str(row.splittable)
+            print(f"{row.name:<12} {str(row.disjoint):<9} "
+                  f"{str(row.self_splittable):<11} {splittable}")
+        explain = query.explain()
+    except (ReproError, ValueError) as error:
+        # ValueError covers pre-hierarchy errors still raised below the
+        # fluent surface (regex parse errors, bad worker counts, ...).
         print(f"error: {error}", file=sys.stderr)
         return 2
-    names = [n.strip() for n in args.splitters.split(",") if n.strip()]
-    registered = [
-        RegisteredSplitter(name, _build_splitter(name, alphabet),
-                           priority=len(names) - i)
-        for i, name in enumerate(names)
-    ]
-    planner = Planner(registered)
-    print(f"pattern:  {args.pattern}")
-    print(f"alphabet: {sorted(alphabet)}")
     print()
-    print(f"{'splitter':<12} {'disjoint':<9} {'self-split':<11} splittable")
-    for row in planner.analyse(spanner):
-        splittable = "?" if row.splittable is None else str(row.splittable)
-        print(f"{row.name:<12} {str(row.disjoint):<9} "
-              f"{str(row.self_splittable):<11} {splittable}")
-    plan = planner.plan(spanner)
-    if plan.mode == "split":
-        extra = "self-splittable" if plan.self_splittable else \
-            "via canonical split-spanner"
-        print(f"\nplan: split by {plan.splitter.name!r} ({extra})")
-    else:
-        print("\nplan: whole-document evaluation (no certified splitter)")
+    _print_plan(explain)
+    if explain["theorem"]:
+        print(f"      certified by {explain['theorem']} "
+              f"[{explain['procedure']}]")
     return 0
 
 
 def engine_command(args) -> int:
-    from repro.engine import Corpus, Document, ExtractionEngine
+    from repro.engine import Corpus, Document
 
-    alphabet = frozenset(args.alphabet)
-    try:
-        spanner = compile_regex_formula(args.pattern, alphabet)
-    except ValueError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    names = [n.strip() for n in args.splitters.split(",") if n.strip()]
-    registered = [
-        RegisteredSplitter(name, _build_splitter(name, alphabet),
-                           priority=len(names) - i)
-        for i, name in enumerate(names)
-    ]
     corpus = Corpus()
     try:
         for index, text in enumerate(args.text or []):
@@ -109,35 +101,56 @@ def engine_command(args) -> int:
               file=sys.stderr)
         return 2
     try:
-        engine = ExtractionEngine(registered, workers=args.workers,
-                                  batch_size=args.batch_size)
-    except ValueError as error:
+        query = _build_query(args)
+        if args.shards > 1:
+            # Sharded runs partition the corpus deterministically; the
+            # merged result is materialized shard by shard.
+            results = query.engine().run_sharded(
+                corpus, query.program(), args.shards
+            )
+            explain = query.explain()
+            by_document = dict(results)
+            stats = results.stats
+        else:
+            result_set = query.over(corpus)
+            explain = result_set.explain()
+            _print_plan(explain)
+            print(f"      certified in "
+                  f"{explain['certification_seconds']:.3f}s")
+            if explain["theorem"]:
+                print(f"      certified by {explain['theorem']} "
+                      f"[{explain['procedure']}]")
+            print(f"      compiled artifact: "
+                  f"{explain['compiled_artifact']}")
+            print()
+            print(f"{'document':<24} tuples")
+            for doc_id, tuples in result_set.stream():   # lazy
+                print(f"{doc_id:<24} {len(tuples)}")
+            print()
+            for key, value in result_set.stats().snapshot().items():
+                rendered = (f"{value:.3f}" if isinstance(value, float)
+                            else value)
+                print(f"  {key}: {rendered}")
+            return 0
+    except (ReproError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    if args.shards > 1:
-        result = engine.run_sharded(corpus, spanner, args.shards)
-    else:
-        result = engine.run(corpus, spanner)
-    plan = result.plan
-    if plan.mode == "split":
-        detail = ("self-splittable" if plan.plan.self_splittable
-                  else "via canonical split-spanner")
-        print(f"plan: split by {plan.splitter_name!r} ({detail}), "
-              f"certified in {plan.certification_seconds:.3f}s")
-    else:
-        print("plan: whole-document evaluation (no certified splitter)")
+    _print_plan(explain)
     print()
     print(f"{'document':<24} tuples")
-    for doc_id, tuples in result:
+    for doc_id, tuples in by_document.items():
         print(f"{doc_id:<24} {len(tuples)}")
     print()
-    for key, value in result.stats.snapshot().items():
+    for key, value in stats.snapshot().items():
         rendered = f"{value:.3f}" if isinstance(value, float) else value
         print(f"  {key}: {rendered}")
     return 0
 
 
 def main(argv=None) -> int:
+    from repro.splitters.builders import known_splitter_names
+
+    known = ",".join(known_splitter_names())
     parser = argparse.ArgumentParser(prog="python -m repro")
     subparsers = parser.add_subparsers(dest="command", required=True)
     analyze_parser = subparsers.add_parser(
@@ -149,8 +162,12 @@ def main(argv=None) -> int:
                                 help="document alphabet, e.g. 'ab .'")
     analyze_parser.add_argument(
         "--splitters", default="tokens,sentences",
-        help="comma list: tokens,sentences,paragraphs,records,whole,"
-             "ngram<N>,window<N>",
+        help=f"comma list: {known}",
+    )
+    analyze_parser.add_argument(
+        "--method", default="general",
+        choices=["auto", "fast", "general"],
+        help="certification procedure selection",
     )
     engine_parser = subparsers.add_parser(
         "engine", help="run the corpus extraction engine (repro.engine)"
@@ -161,7 +178,12 @@ def main(argv=None) -> int:
                                help="document alphabet, e.g. 'ab .'")
     engine_parser.add_argument(
         "--splitters", default="tokens,sentences",
-        help="comma list registered with the planner",
+        help=f"comma list registered with the planner: {known}",
+    )
+    engine_parser.add_argument(
+        "--method", default="general",
+        choices=["auto", "fast", "general"],
+        help="certification procedure selection",
     )
     engine_parser.add_argument("--text", action="append",
                                help="inline document (repeatable)")

@@ -25,6 +25,14 @@ execute on the compiled integer/bitset kernel of
 :mod:`repro.automata.compiled`; the runtime additionally lowers
 certified plans onto that kernel at certify time, so certification is
 also when evaluation gets compiled — never per document or per chunk.
+
+Every entry point accepts either a raw :class:`VSetAutomaton` or a
+fluent wrapper around one (:class:`repro.query.Spanner`,
+:class:`repro.query.Splitter`, or anything else exposing the automaton
+as ``.automaton`` or ``.specification``); errors are raised from the
+typed hierarchy of :mod:`repro.errors` (each subclasses the built-in
+exception the pre-fluent API used, so existing ``except ValueError``
+handlers keep working).
 """
 
 from __future__ import annotations
@@ -35,10 +43,30 @@ from repro.core.split_correctness import (
     split_correct_dfvsa,
     split_correct_general,
 )
+from repro.errors import CertificationError
 from repro.spanners.determinism import is_deterministic
 from repro.spanners.vset_automaton import VSetAutomaton
 
 _METHODS = ("auto", "fast", "general")
+
+
+def _as_automaton(spanner: object, role: str = "spanner") -> VSetAutomaton:
+    """Unwrap fluent wrappers down to the underlying VSet-automaton.
+
+    Accepts a :class:`VSetAutomaton` itself, or any object exposing one
+    as ``.automaton`` (splitter wrappers, registered splitters) or
+    ``.specification`` (spanner wrappers, fast executables).
+    """
+    if isinstance(spanner, VSetAutomaton):
+        return spanner
+    for attribute in ("automaton", "specification"):
+        wrapped = getattr(spanner, attribute, None)
+        if isinstance(wrapped, VSetAutomaton):
+            return wrapped
+    raise CertificationError(
+        f"{role} must be a VSetAutomaton or wrap one "
+        f"(got {type(spanner).__name__})"
+    )
 
 
 def _fast_applicable(
@@ -54,9 +82,17 @@ def _fast_applicable(
     return is_disjoint(splitter)
 
 
-def _check_method(method: str) -> None:
+def check_method(method: str) -> None:
+    """Validate a certification-method name (the single source of
+    truth for :func:`split_correct`, :class:`repro.runtime.planner.
+    Planner` and :meth:`repro.query.Query.method`)."""
     if method not in _METHODS:
-        raise ValueError(f"method must be one of {_METHODS}, got {method!r}")
+        raise CertificationError(
+            f"method must be one of {_METHODS}, got {method!r}"
+        )
+
+
+_check_method = check_method
 
 
 def split_correct(
@@ -74,12 +110,15 @@ def split_correct(
     ``method="general"`` when such tuples can arise.
     """
     _check_method(method)
+    spanner = _as_automaton(spanner, "spanner")
+    split_spanner = _as_automaton(split_spanner, "split spanner")
+    splitter = _as_automaton(splitter, "splitter")
     if method == "general":
         return split_correct_general(spanner, split_spanner, splitter)
     applicable = _fast_applicable(splitter, spanner, split_spanner)
     if method == "fast":
         if not applicable:
-            raise ValueError(
+            raise CertificationError(
                 "fast split-correctness requires dfVSA inputs and a "
                 "disjoint splitter (Theorem 5.7)"
             )
@@ -114,6 +153,8 @@ def splittable(
     from repro.core.splittability import is_splittable
     from repro.splitters.disjointness import is_disjoint
 
+    spanner = _as_automaton(spanner, "spanner")
+    splitter = _as_automaton(splitter, "splitter")
     if is_disjoint(splitter):
         return is_splittable(spanner, splitter, require_disjoint=False)
     if self_splittable(spanner, splitter, method="general"):

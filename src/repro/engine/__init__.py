@@ -24,6 +24,11 @@ Quickstart::
     engine = ExtractionEngine(splitters, workers=4)
     result = engine.run(Corpus.from_texts(documents), spanner)
     print(engine.stats().snapshot())
+
+For the documented fluent surface on top of this engine — named
+splitters, chainable configuration, lazy streaming results — see
+:mod:`repro.query` (``Q(spanner).split_by("tokens").over(corpus)``
+executes here via :meth:`ExtractionEngine.run_iter`).
 """
 
 from repro.engine.cache import (

@@ -82,6 +82,25 @@ class Program:
             else:
                 object.__setattr__(self, "specification", self.executable)
 
+    @classmethod
+    def from_query(cls, spanner: object, name: Optional[str] = None
+                   ) -> "Program":
+        """The engine program behind a fluent query's spanner.
+
+        Accepts a :class:`repro.query.Spanner` wrapper (unwrapping its
+        executable/specification pair), a raw VSet-automaton, or any
+        ``SpannerLike`` that carries its own specification; idempotent
+        on :class:`Program` itself.
+        """
+        if isinstance(spanner, cls):
+            return spanner
+        executable = getattr(spanner, "executable", spanner)
+        specification = getattr(spanner, "specification", None)
+        if not isinstance(specification, VSetAutomaton):
+            specification = None
+        label = name or getattr(spanner, "name", None) or "query"
+        return cls(executable, specification, name=label)
+
     def fingerprint(self) -> str:
         """Identity for both cache levels: covers the specification
         (what gets certified) and the executable (what runs).
@@ -173,9 +192,11 @@ class ExtractionEngine:
     ``splitters`` is the registry the planner certifies against (same
     objects as :class:`repro.runtime.planner.Planner`); ``workers`` and
     ``batch_size`` configure the scheduler; ``chunk_cache_limit``
-    bounds chunk-cache memory (LRU).  Both caches persist across
-    ``run`` calls, so a long-lived engine keeps getting faster as it
-    sees more of the workload.
+    bounds chunk-cache memory (LRU); ``method`` selects the
+    certification procedure (see :class:`repro.runtime.planner.
+    Planner`).  Both caches persist across ``run`` calls, so a
+    long-lived engine keeps getting faster as it sees more of the
+    workload.
     """
 
     def __init__(
@@ -186,14 +207,20 @@ class ExtractionEngine:
         chunk_cache_limit: Optional[int] = None,
         plan_cache: Optional[PlanCache] = None,
         chunk_cache: Optional[ChunkCache] = None,
+        method: str = "general",
     ) -> None:
-        self.planner = Planner(splitters)
+        self.planner = Planner(splitters, method=method)
         self.scheduler = Scheduler(workers=workers, batch_size=batch_size)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.chunk_cache = (chunk_cache if chunk_cache is not None
                             else ChunkCache(chunk_cache_limit))
-        # The registry is immutable after construction; fingerprint once.
+        # The registry is immutable after construction; fingerprint
+        # once.  The certification method participates: engines that
+        # certify differently must not exchange certificates through a
+        # shared plan cache.
         self._registry_fp = registry_fingerprint(self.planner.splitters)
+        if method != "general":
+            self._registry_fp += f"+{method}"
         # Per-engine counters: caches may be shared between engines, so
         # each run attributes only its own cache-counter deltas here.
         self._documents = 0
@@ -237,14 +264,17 @@ class ExtractionEngine:
             self._artifacts_compiled += certified.artifacts_compiled
         return certified
 
-    def _runner_for(
+    def runner_for(
         self, certified: CertifiedPlan, program: Program
     ) -> SpannerLike:
         """What evaluates chunks under this certificate.
 
         The certificate's compiled artifact when the plan carries one;
         otherwise the program's own runner, lowered on first use (and
-        counted toward ``artifacts_compiled``).
+        counted toward ``artifacts_compiled``).  Callers that need the
+        runner identity (e.g. :meth:`repro.query.ResultSet.explain`)
+        must resolve it through here, not ``program.runner()``, so the
+        lowering accounting is never bypassed.
         """
         runner = certified.chunk_runner()
         if runner is not None:
@@ -275,6 +305,42 @@ class ExtractionEngine:
     # Execution
     # ------------------------------------------------------------------
 
+    def _iter_certified(
+        self, corpus: Corpus, program: Program, certified: CertifiedPlan
+    ) -> Iterator[Tuple[str, Set[SpanTuple]]]:
+        """Yield ``(doc_id, tuples)`` batch by batch under a certificate.
+
+        The lazy core under both :meth:`run` and :meth:`run_iter`: one
+        scheduler pass per document batch, counters updated as each
+        batch completes, results yielded per document in corpus order —
+        nothing downstream of the current batch is computed yet.
+        """
+        runner = self.runner_for(certified, program)
+        # Chunk results depend on the *runner*, which the certificate
+        # determines — namespace the chunk cache by certificate (it
+        # covers program and registry), not by program alone.
+        chunk_namespace = certified.fingerprint or program.fingerprint()
+        cache = self.chunk_cache
+        for batch in corpus.batches(max(1, self.scheduler.batch_size)):
+            start = time.perf_counter()
+            cache_before = (cache.hits, cache.misses, cache.evictions)
+            tasks = []
+            for document in batch:
+                chunks = self._chunks_of(certified, document)
+                tasks.append((document.doc_id, chunks))
+                self._chunks_total += len(chunks)
+            resolved = self.scheduler.run(runner, tasks, cache,
+                                          chunk_namespace)
+            self._chunk_hits += cache.hits - cache_before[0]
+            self._chunk_misses += cache.misses - cache_before[1]
+            self._chunk_evictions += cache.evictions - cache_before[2]
+            self._extraction_seconds += time.perf_counter() - start
+            self._documents += len(batch)
+            for document in batch:
+                tuples = resolved[document.doc_id]
+                self._tuples_emitted += len(tuples)
+                yield document.doc_id, tuples
+
     def run(
         self,
         corpus: CorpusLike,
@@ -285,35 +351,30 @@ class ExtractionEngine:
         program = _as_program(program)
         before = self.stats()
         certified = self.certify(program)
-        runner = self._runner_for(certified, program)
-        # Chunk results depend on the *runner*, which the certificate
-        # determines — namespace the chunk cache by certificate (it
-        # covers program and registry), not by program alone.
-        chunk_namespace = certified.fingerprint or program.fingerprint()
-
-        start = time.perf_counter()
-        cache = self.chunk_cache
-        cache_before = (cache.hits, cache.misses, cache.evictions)
-        by_document: Dict[str, Set[SpanTuple]] = {}
-        for batch in corpus.batches(max(1, self.scheduler.batch_size)):
-            tasks = []
-            for document in batch:
-                chunks = self._chunks_of(certified, document)
-                tasks.append((document.doc_id, chunks))
-                self._chunks_total += len(chunks)
-            by_document.update(
-                self.scheduler.run(runner, tasks, cache, chunk_namespace)
-            )
-        self._chunk_hits += cache.hits - cache_before[0]
-        self._chunk_misses += cache.misses - cache_before[1]
-        self._chunk_evictions += cache.evictions - cache_before[2]
-        self._extraction_seconds += time.perf_counter() - start
-        self._documents += len(corpus)
-        self._tuples_emitted += sum(
-            len(tuples) for tuples in by_document.values()
+        by_document: Dict[str, Set[SpanTuple]] = dict(
+            self._iter_certified(corpus, program, certified)
         )
         return EngineResult(by_document, certified,
                             self.stats().since(before))
+
+    def run_iter(
+        self,
+        corpus: CorpusLike,
+        program: ProgramLike,
+    ) -> Iterator[Tuple[str, Set[SpanTuple]]]:
+        """Extract lazily: yield ``(doc_id, tuples)`` per document.
+
+        Documents come out in corpus order, produced one scheduler
+        batch at a time, so consuming a prefix of the iterator only
+        pays for the batches that prefix spans — the streaming
+        primitive under :meth:`repro.query.ResultSet.stream`.
+        Certification still happens exactly once — up front, through
+        the plan cache, when the iterator is created.
+        """
+        corpus = _as_corpus(corpus)
+        program = _as_program(program)
+        certified = self.certify(program)
+        return self._iter_certified(corpus, program, certified)
 
     def run_sharded(
         self,

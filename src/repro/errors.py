@@ -1,0 +1,62 @@
+"""The typed exception hierarchy of the public (fluent) API.
+
+Every error the documented surface raises derives from
+:class:`ReproError`, so ``except ReproError`` catches anything this
+library signals while programming mistakes (``TypeError`` from wrong
+argument shapes, say) still propagate.  The concrete classes also
+derive from the built-in exceptions the pre-fluent entry points used
+to raise (``ValueError``, ``KeyError``), so existing callers that
+catch those keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+
+class ReproError(Exception):
+    """Base class of every error raised by the repro public API."""
+
+
+class NotFunctionalError(ReproError, ValueError):
+    """A regex formula (or VSet-automaton) is not functional.
+
+    The paper's standing assumption for the class RGX is that every
+    accepting run assigns each variable exactly once; formulas like
+    ``(x{a})*`` violate it.  Subclasses :class:`ValueError` because
+    :func:`repro.spanners.regex_formulas.compile_regex_formula`
+    historically raised that.
+    """
+
+
+class CertificationError(ReproError, ValueError):
+    """A certification request cannot be satisfied as posed.
+
+    Raised when a forced ``method="fast"`` is asked of inputs outside
+    the tractable fragment (Theorems 5.7/5.17 need dfVSAs and a
+    disjoint splitter), when an unknown method name is passed, or when
+    an object that is neither a VSet-automaton nor a wrapper around
+    one reaches the decision procedures.
+    """
+
+
+class UnknownSplitterError(ReproError, KeyError):
+    """A splitter name is not in the builder registry.
+
+    Carries the offending ``name`` and the ``known`` names so callers
+    (the CLI, error messages in notebooks) can show what *would* have
+    worked.  Subclasses :class:`KeyError` to behave like the failed
+    registry lookup it is.
+    """
+
+    def __init__(self, name: str, known: Optional[Iterable[str]] = None):
+        self.name = name
+        self.known = sorted(known) if known is not None else []
+        message = f"unknown splitter {name!r}"
+        if self.known:
+            message += "; known splitters: " + ", ".join(self.known)
+        super().__init__(message)
+
+    def __str__(self) -> str:
+        # KeyError.__str__ would repr() the message; keep it readable.
+        return self.args[0]

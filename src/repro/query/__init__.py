@@ -1,0 +1,52 @@
+"""The fluent query API: the documented front door of ``repro``.
+
+The paper pitches a *declarative* workflow — write a spanner, pick a
+splitter, and let the system certify split-correctness and
+parallelize.  This package is that surface, layered on the corpus
+engine (:mod:`repro.engine`) and the compiled kernel
+(:mod:`repro.automata.compiled`)::
+
+    from repro import Q, Spanner
+
+    spanner = Spanner.regex(".*( )y{a+}( ).*|y{a+}( ).*|.*( )y{a+}|y{a+}",
+                            alphabet="ab .")
+    results = Q(spanner).split_by("tokens").workers(4).over(corpus)
+    for doc_id, tuples in results.stream():   # lazy, in corpus order
+        ...
+    results.explain()   # plan, theorem, compiled artifact, stats
+
+* :class:`Spanner` — immutable wrapper over any ``SpannerLike`` with
+  the spanner algebra as operators (``|`` union, ``&`` intersect,
+  ``-`` difference, ``.project``, ``.join``);
+* :class:`Splitter` — named splitters out of the single builder
+  registry the CLI also uses;
+* :class:`Query` / :func:`Q` — the chainable builder;
+* :class:`ResultSet` — lazy streaming results with materializers and
+  ``.explain()``.
+
+Errors raised by this surface derive from
+:class:`repro.errors.ReproError`.
+"""
+
+from repro.errors import (
+    CertificationError,
+    NotFunctionalError,
+    ReproError,
+    UnknownSplitterError,
+)
+from repro.query.query import Q, Query
+from repro.query.results import ResultSet
+from repro.query.spanner import Spanner
+from repro.query.splitter import Splitter
+
+__all__ = [
+    "Q",
+    "Query",
+    "ResultSet",
+    "Spanner",
+    "Splitter",
+    "ReproError",
+    "NotFunctionalError",
+    "CertificationError",
+    "UnknownSplitterError",
+]

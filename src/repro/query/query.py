@@ -1,0 +1,246 @@
+"""The chainable :class:`Query` builder (and its ``Q`` entry point).
+
+One fluent chain covers the paper's whole workflow — write a spanner,
+pick splitters, certify, execute::
+
+    Q(Spanner.regex(".*( )y{a+}( ).*|y{a+}( ).*|.*( )y{a+}|y{a+}", "ab ."))
+        .split_by("tokens")
+        .workers(4)
+        .over(corpus)
+
+Builders are immutable: every configuration method returns a new
+:class:`Query`, so partially-configured queries can be shared and
+forked safely.  (The one piece of derived state — the lazily built
+engine handle of :meth:`Query.engine` — is cached on first use;
+queries are not synchronized for concurrent first execution across
+threads.)  Execution goes through the corpus engine
+(:class:`repro.engine.ExtractionEngine`) — certification runs exactly
+once per (program, registry) pair via the plan cache, chunks
+deduplicate corpus-wide, and results stream lazily as a
+:class:`repro.query.ResultSet`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Set, Tuple, Union
+
+from repro.core.spans import SpanTuple
+from repro.errors import ReproError
+from repro.query.results import ResultSet
+from repro.query.spanner import Spanner
+from repro.query.splitter import Splitter
+
+SplitterSpec = Union[str, Splitter]
+
+
+class Query:
+    """An immutable, chainable extraction query.
+
+    Configuration methods (:meth:`split_by`, :meth:`method`,
+    :meth:`workers`, :meth:`batch_size`, :meth:`using`) each return a
+    new query; :meth:`over` executes against a corpus and returns a
+    lazy :class:`ResultSet`; :meth:`on` is the single-document
+    shortcut.
+    """
+
+    __slots__ = ("_spanner", "_splitters", "_method", "_workers",
+                 "_batch_size", "_chunk_cache_limit", "_engine",
+                 "_engine_explicit")
+
+    def __init__(self, spanner: object, **settings: object) -> None:
+        if not isinstance(spanner, Spanner):
+            spanner = Spanner(spanner)
+        object.__setattr__(self, "_spanner", spanner)
+        object.__setattr__(self, "_splitters",
+                           settings.get("splitters", ()))
+        object.__setattr__(self, "_method",
+                           settings.get("method", "general"))
+        object.__setattr__(self, "_workers", settings.get("workers", 0))
+        object.__setattr__(self, "_batch_size",
+                           settings.get("batch_size", 32))
+        object.__setattr__(self, "_chunk_cache_limit",
+                           settings.get("chunk_cache_limit"))
+        object.__setattr__(self, "_engine", settings.get("engine"))
+        object.__setattr__(self, "_engine_explicit",
+                           settings.get("engine_explicit", False))
+
+    def __setattr__(self, attribute: str, value: object) -> None:
+        raise AttributeError("Query is immutable; chain methods instead")
+
+    def _evolve(self, **overrides: object) -> "Query":
+        settings = {
+            "splitters": self._splitters,
+            "method": self._method,
+            "workers": self._workers,
+            "batch_size": self._batch_size,
+            "chunk_cache_limit": self._chunk_cache_limit,
+            # A lazily built engine is derived state and never carries
+            # over; an engine pinned with .using() does.
+            "engine": self._engine if self._engine_explicit else None,
+            "engine_explicit": self._engine_explicit,
+        }
+        settings.update(overrides)
+        return Query(self._spanner, **settings)
+
+    def _reconfigure(self, **overrides: object) -> "Query":
+        """Evolve a setting that shapes the engine; rejected once the
+        query is pinned to an explicit engine."""
+        if self._engine_explicit:
+            raise ReproError(
+                "this query is pinned to an engine via .using(); "
+                "configure splitters/method/workers before .using(...), "
+                "or configure the engine itself"
+            )
+        return self._evolve(**overrides)
+
+    # ------------------------------------------------------------------
+    # Configuration (each returns a new Query)
+    # ------------------------------------------------------------------
+
+    def split_by(self, *splitters: SplitterSpec) -> "Query":
+        """Register candidate splitters, preferred first.
+
+        Each argument is a :class:`Splitter` or a registry name
+        (``"tokens"``, ``"ngram3"``, ...) resolved over the spanner's
+        alphabet.  The planner certifies against them in the given
+        order and falls back to whole-document evaluation when none
+        certifies.
+        """
+        resolved = []
+        for splitter in splitters:
+            if isinstance(splitter, Splitter):
+                resolved.append(splitter)
+            elif isinstance(splitter, str):
+                resolved.append(
+                    Splitter.named(splitter, self._spanner.alphabet)
+                )
+            else:
+                raise ReproError(
+                    f"split_by takes Splitter objects or registry "
+                    f"names, got {type(splitter).__name__}"
+                )
+        return self._reconfigure(
+            splitters=self._splitters + tuple(resolved)
+        )
+
+    def method(self, name: str) -> "Query":
+        """Select the certification procedure: ``"general"`` (exact,
+        default), ``"auto"`` (tractable fragment when applicable), or
+        ``"fast"`` (PTIME fragment only — candidates outside it are
+        skipped, falling back to whole-document evaluation)."""
+        from repro.core.api import check_method
+
+        check_method(name)
+        return self._reconfigure(method=name)
+
+    def workers(self, count: int) -> "Query":
+        """Process-pool size for chunk evaluation (0 = in-process)."""
+        return self._reconfigure(workers=count)
+
+    def batch_size(self, size: int) -> "Query":
+        """Documents per scheduler pass (streaming granularity)."""
+        return self._reconfigure(batch_size=size)
+
+    def chunk_cache_limit(self, limit: Optional[int]) -> "Query":
+        """Bound the corpus-wide chunk cache (LRU; ``None`` = off)."""
+        return self._reconfigure(chunk_cache_limit=limit)
+
+    def using(self, engine) -> "Query":
+        """Execute on an existing :class:`repro.engine.
+        ExtractionEngine` (its registry, caches, and pool) instead of
+        building a dedicated one.
+
+        The engine then owns the execution shape, so further
+        :meth:`split_by`/:meth:`method`/:meth:`workers`/... calls on
+        the pinned query raise :class:`repro.errors.ReproError` —
+        configure first, pin last.
+        """
+        return self._evolve(engine=engine, engine_explicit=True)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    @property
+    def spanner(self) -> Spanner:
+        return self._spanner
+
+    @property
+    def splitters(self) -> Tuple[Splitter, ...]:
+        return self._splitters
+
+    def engine(self):
+        """The engine this query executes on (built once per query)."""
+        if self._engine is None:
+            from repro.engine import ExtractionEngine
+
+            registered = [
+                splitter.registered(priority=len(self._splitters) - index)
+                for index, splitter in enumerate(self._splitters)
+            ]
+            object.__setattr__(
+                self, "_engine",
+                ExtractionEngine(
+                    registered,
+                    workers=self._workers,
+                    batch_size=self._batch_size,
+                    chunk_cache_limit=self._chunk_cache_limit,
+                    method=self._method,
+                ),
+            )
+        return self._engine
+
+    def program(self):
+        """The engine program for this query's spanner."""
+        from repro.engine.engine import Program
+
+        return Program.from_query(self._spanner)
+
+    def certify(self):
+        """The (cached) :class:`repro.runtime.planner.CertifiedPlan`."""
+        return self.engine().certify(self.program())
+
+    def analyse(self):
+        """Per-splitter :class:`repro.runtime.planner.SplitReport` rows
+        (the paper's debugging scenario)."""
+        return self.engine().planner.analyse(self._spanner.vsa())
+
+    def explain(self):
+        """The certificate report without executing anything."""
+        return self.certify().explain()
+
+    def over(self, corpus) -> ResultSet:
+        """Certify (once, cached) and bind to ``corpus``; lazy results.
+
+        Accepts a :class:`repro.engine.Corpus`, a mapping ``id ->
+        text``, or a plain sequence of texts.  No document is touched
+        until the returned :class:`ResultSet` is consumed.
+        """
+        from repro.engine.engine import _as_corpus
+
+        engine = self.engine()
+        program = self.program()
+        stats_before = engine.stats()
+        certified = engine.certify(program)
+        return ResultSet(engine, _as_corpus(corpus), program, certified,
+                         stats_before=stats_before)
+
+    def on(self, document: str) -> Set[SpanTuple]:
+        """Single-document shortcut: the span tuples of ``document``."""
+        results = self.over([document])
+        return set(results["doc-0000"])
+
+    def __repr__(self) -> str:
+        names = ",".join(splitter.name for splitter in self._splitters)
+        return (f"Q({self._spanner.name!r})"
+                f".split_by({names})" if names else
+                f"Q({self._spanner.name!r})")
+
+
+def Q(spanner: object) -> Query:
+    """Start a fluent query: ``Q(spanner)`` — the front door.
+
+    ``spanner`` is a :class:`Spanner` (or anything coercible to one:
+    a VSet-automaton, a fast executable with a specification).
+    """
+    return Query(spanner)

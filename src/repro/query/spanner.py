@@ -1,0 +1,227 @@
+"""The fluent :class:`Spanner` wrapper: algebra as operators.
+
+A :class:`Spanner` is an immutable handle around anything the engine
+can run (``SpannerLike``: a VSet-automaton, a
+:class:`repro.runtime.fast.RegexSpanner`, a black box with a
+specification) that layers the regular-spanner algebra of
+:mod:`repro.spanners.algebra` onto Python operators::
+
+    >>> a = Spanner.regex(".*x{a}.*", "ab")
+    >>> b = Spanner.regex(".*x{b}.*", "ab")
+    >>> sorted((t["x"].begin, t["x"].end) for t in (a | b).evaluate("ab"))
+    [(1, 2), (2, 3)]
+
+Wrappers stay thin: every construction delegates to the algebra's free
+functions (which implement Appendix A of Fagin et al.), and the
+wrapped automaton is what the decision procedures certify and the
+compiled kernel executes.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Optional, Set, Union
+
+from repro.core.spans import SpanTuple
+from repro.errors import ReproError
+from repro.spanners.vset_automaton import VSetAutomaton
+
+SpannerOperand = Union["Spanner", VSetAutomaton]
+
+
+class Spanner:
+    """An immutable fluent wrapper around a document spanner.
+
+    ``executable`` is what evaluates documents; ``specification`` is
+    the VSet-automaton the decision procedures reason over (the
+    executable itself when it already is one).  Instances are never
+    mutated — every algebraic method returns a new :class:`Spanner`.
+    """
+
+    __slots__ = ("executable", "specification", "name")
+
+    def __init__(
+        self,
+        spanner: object,
+        specification: Optional[VSetAutomaton] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(spanner, Spanner):
+            specification = specification or spanner.specification
+            name = name or spanner.name
+            spanner = spanner.executable
+        if specification is None:
+            if isinstance(spanner, VSetAutomaton):
+                specification = spanner
+            else:
+                candidate = getattr(spanner, "specification", None)
+                if isinstance(candidate, VSetAutomaton):
+                    specification = candidate
+        object.__setattr__(self, "executable", spanner)
+        object.__setattr__(self, "specification", specification)
+        object.__setattr__(self, "name", name or "spanner")
+
+    def __setattr__(self, attribute: str, value: object) -> None:
+        raise AttributeError("Spanner is immutable")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def regex(
+        cls,
+        pattern: str,
+        alphabet: Iterable[str],
+        name: Optional[str] = None,
+    ) -> "Spanner":
+        """Compile a regex formula (``x{...}`` captures) over
+        ``alphabet``.
+
+        Raises :class:`repro.errors.NotFunctionalError` for formulas
+        outside the functional class RGX, e.g. ``(x{a})*``.
+        """
+        from repro.spanners.regex_formulas import compile_regex_formula
+
+        automaton = compile_regex_formula(pattern, frozenset(alphabet))
+        return cls(automaton, name=name or pattern)
+
+    @classmethod
+    def from_vsa(
+        cls, automaton: VSetAutomaton, name: Optional[str] = None
+    ) -> "Spanner":
+        """Wrap an existing VSet-automaton."""
+        if not isinstance(automaton, VSetAutomaton):
+            raise ReproError(
+                f"from_vsa needs a VSetAutomaton, got "
+                f"{type(automaton).__name__}"
+            )
+        return cls(automaton, name=name)
+
+    # ------------------------------------------------------------------
+    # Introspection and evaluation
+    # ------------------------------------------------------------------
+
+    @property
+    def automaton(self) -> Optional[VSetAutomaton]:
+        """The specification automaton (alias used by unwrapping
+        helpers such as :func:`repro.core.api._as_automaton`)."""
+        return self.specification
+
+    def vsa(self) -> VSetAutomaton:
+        """The specification automaton, or a typed error without one."""
+        if self.specification is None:
+            raise ReproError(
+                f"spanner {self.name!r} has no VSet-automaton "
+                "specification; algebra and certification need one"
+            )
+        return self.specification
+
+    @property
+    def variables(self) -> FrozenSet:
+        """The span variables (the output schema)."""
+        if self.specification is not None:
+            return self.specification.svars()
+        return frozenset(getattr(self.executable, "variables", frozenset()))
+
+    @property
+    def alphabet(self) -> FrozenSet:
+        """The document alphabet of the specification."""
+        return self.vsa().doc_alphabet
+
+    def evaluate(self, document: str) -> Set[SpanTuple]:
+        """All span tuples of ``document`` (compiled-kernel path)."""
+        return set(self.executable.evaluate(document))
+
+    def __repr__(self) -> str:
+        variables = ",".join(sorted(map(str, self.variables)))
+        return f"Spanner({self.name!r}, variables={{{variables}}})"
+
+    # ------------------------------------------------------------------
+    # Algebra as operators (delegating to repro.spanners.algebra)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _coerce(cls, operand: SpannerOperand) -> "Spanner":
+        if isinstance(operand, Spanner):
+            return operand
+        if isinstance(operand, VSetAutomaton):
+            return cls(operand)
+        return NotImplemented
+
+    @classmethod
+    def _coerce_strict(cls, operand: SpannerOperand) -> "Spanner":
+        coerced = cls._coerce(operand)
+        if coerced is NotImplemented:
+            raise ReproError(
+                f"cannot combine a Spanner with "
+                f"{type(operand).__name__}; pass a Spanner or a "
+                "VSetAutomaton"
+            )
+        return coerced
+
+    def _derived(self, automaton: VSetAutomaton, name: str) -> "Spanner":
+        return Spanner(automaton, name=name)
+
+    def union(self, other: SpannerOperand) -> "Spanner":
+        """``(P1 ∪ P2)(d) = P1(d) ∪ P2(d)`` — also ``p1 | p2``."""
+        from repro.spanners.algebra import union
+
+        other = self._coerce_strict(other)
+        return self._derived(union(self.vsa(), other.vsa()),
+                             f"({self.name} | {other.name})")
+
+    def intersect(self, other: SpannerOperand) -> "Spanner":
+        """Tuples produced by both spanners — also ``p1 & p2``."""
+        from repro.spanners.algebra import intersect
+
+        other = self._coerce_strict(other)
+        return self._derived(intersect(self.vsa(), other.vsa()),
+                             f"({self.name} & {other.name})")
+
+    def difference(self, other: SpannerOperand) -> "Spanner":
+        """``(P1 - P2)(d) = P1(d) - P2(d)`` — also ``p1 - p2``."""
+        from repro.spanners.algebra import difference
+
+        other = self._coerce_strict(other)
+        return self._derived(difference(self.vsa(), other.vsa()),
+                             f"({self.name} - {other.name})")
+
+    def join(self, other: SpannerOperand) -> "Spanner":
+        """Natural join ``P1 ⋈ P2`` over the shared variables."""
+        from repro.spanners.algebra import natural_join
+
+        other = self._coerce_strict(other)
+        return self._derived(natural_join(self.vsa(), other.vsa()),
+                             f"({self.name} |><| {other.name})")
+
+    def project(self, *variables) -> "Spanner":
+        """``π_Y P``: keep only the listed span variables.
+
+        >>> pair = Spanner.regex("x{a}y{b}", "ab")
+        >>> sorted(pair.project("y").evaluate("ab"))[0].variables()
+        ('y',)
+        """
+        from repro.spanners.algebra import project
+
+        keep = frozenset(variables)
+        names = ",".join(sorted(map(str, keep)))
+        return self._derived(project(self.vsa(), keep),
+                             f"π[{names}]({self.name})")
+
+    def __or__(self, other: SpannerOperand) -> "Spanner":
+        coerced = self._coerce(other)
+        if coerced is NotImplemented:
+            return NotImplemented
+        return self.union(coerced)
+
+    def __and__(self, other: SpannerOperand) -> "Spanner":
+        coerced = self._coerce(other)
+        if coerced is NotImplemented:
+            return NotImplemented
+        return self.intersect(coerced)
+
+    def __sub__(self, other: SpannerOperand) -> "Spanner":
+        coerced = self._coerce(other)
+        if coerced is NotImplemented:
+            return NotImplemented
+        return self.difference(coerced)

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.self_splittability import is_self_splittable
 from repro.core.splittability import canonical_split_spanner, is_splittable
@@ -57,6 +57,11 @@ class Plan:
     split_spanner: Optional[VSetAutomaton]
     self_splittable: bool = False
     compiled_runner: Optional[object] = field(default=None, compare=False)
+    #: The paper result that justifies this plan (explain metadata,
+    #: filled in by :meth:`Planner.plan`), e.g. ``"Theorem 5.17"``.
+    theorem: Optional[str] = field(default=None, compare=False)
+    #: Human-readable name of the decision procedure that actually ran.
+    procedure: Optional[str] = field(default=None, compare=False)
 
     def lower(self) -> int:
         """Lower the split spanner onto the compiled kernel.
@@ -122,6 +127,34 @@ class CertifiedPlan:
     def splitter_name(self) -> Optional[str]:
         return self.plan.splitter.name if self.plan.splitter else None
 
+    def explain(self) -> Dict[str, object]:
+        """The certificate as a flat report (what ``.explain()`` on a
+        fluent :class:`repro.query.ResultSet` surfaces).
+
+        Covers the selected plan (mode, splitter, whether rewriting was
+        needed), the paper theorem and concrete procedure that
+        certified it, the compiled-artifact identity, and the
+        certification cost/reuse accounting.
+        """
+        plan = self.plan
+        runner = plan.compiled_runner
+        return {
+            "mode": plan.mode,
+            "splitter": self.splitter_name,
+            "self_splittable": plan.self_splittable,
+            "split_spanner": ("original program" if plan.self_splittable
+                              else "canonical split-spanner"
+                              if plan.split_spanner is not None else None),
+            "theorem": plan.theorem,
+            "procedure": plan.procedure,
+            "compiled_artifact": (f"kernel-{id(runner):x}"
+                                  if runner is not None else None),
+            "certification_seconds": self.certification_seconds,
+            "certificate": self.fingerprint,
+            "reuses": self.reuses,
+            "artifacts_compiled": self.artifacts_compiled,
+        }
+
     def chunk_runner(self) -> Optional[object]:
         """The chunk evaluator this certificate carries, if any.
 
@@ -158,16 +191,67 @@ class SplitReport:
 
 
 class Planner:
-    """Analyse extractors against a registry of splitters."""
+    """Analyse extractors against a registry of splitters.
 
-    def __init__(self, splitters: Sequence[RegisteredSplitter]) -> None:
+    ``method`` selects the self-splittability procedure the planner
+    certifies with: ``"general"`` (default) always runs the exact
+    PSPACE procedure of Theorem 5.16; ``"auto"`` uses the PTIME dfVSA
+    fragment of Theorem 5.17 when its preconditions (deterministic
+    functional automata, disjoint splitter) hold — subject to that
+    fragment's documented empty-span boundary corner case, see
+    :func:`repro.core.api.split_correct`; ``"fast"`` certifies *only*
+    within the fragment — candidates outside it (and the PSPACE
+    splittability scan) are skipped, so a query that nothing certifies
+    in PTIME falls back to whole-document evaluation.
+    """
+
+    def __init__(self, splitters: Sequence[RegisteredSplitter],
+                 method: str = "general") -> None:
+        from repro.core.api import check_method
+
+        check_method(method)
         self.splitters = sorted(
             splitters, key=lambda s: -s.priority
         )
+        self.method = method
+
+    def _certify_self_splittable(
+        self, spanner: VSetAutomaton, automaton: VSetAutomaton
+    ):
+        """Decide ``P = P o S`` per ``self.method``.
+
+        Returns ``(answer, theorem, procedure)`` recording which paper
+        result actually ran (explain metadata).
+        """
+        if self.method != "general":
+            from repro.core.api import _fast_applicable
+            from repro.core.self_splittability import (
+                is_self_splittable_dfvsa,
+            )
+
+            if _fast_applicable(automaton, spanner):
+                return (is_self_splittable_dfvsa(spanner, automaton,
+                                                 check=False),
+                        "Theorem 5.17",
+                        "dfVSA self-splittability (PTIME)")
+            if self.method == "fast":
+                # Outside the tractable fragment: 'fast' never runs a
+                # PSPACE procedure, so the candidate is skipped rather
+                # than certified.
+                return (False, None, None)
+        return (is_self_splittable(spanner, automaton),
+                "Theorem 5.16",
+                "general self-splittability (PSPACE)")
 
     def analyse(self, spanner: VSetAutomaton) -> List[SplitReport]:
         """The debugging report: how ``spanner`` splits by each
-        registered splitter (the paper's HTTP-log scenario)."""
+        registered splitter (the paper's HTTP-log scenario).
+
+        Honours ``self.method``: under ``"fast"``, candidates outside
+        the PTIME fragment report ``self_splittable=False`` and
+        ``splittable=None`` (not determined) — consistent with the
+        plan the same planner would emit.
+        """
         from repro.splitters.disjointness import overlap_witness
 
         reports = []
@@ -175,10 +259,15 @@ class Planner:
             automaton = registered.automaton
             witness = overlap_witness(automaton)
             disjoint = witness is None
-            self_split = is_self_splittable(spanner, automaton)
+            self_split, _theorem, _procedure = \
+                self._certify_self_splittable(spanner, automaton)
             splittable: Optional[bool]
             if self_split:
                 splittable = True
+            elif self.method == "fast":
+                # The splittability test is PSPACE; 'fast' leaves it
+                # undetermined.
+                splittable = None
             elif disjoint:
                 splittable = is_splittable(
                     spanner, automaton, require_disjoint=False
@@ -200,9 +289,18 @@ class Planner:
         whole-document evaluation.
         """
         for registered in self.splitters:
-            if is_self_splittable(spanner, registered.automaton):
-                return Plan("split", registered, None, self_splittable=True)
+            answer, theorem, procedure = self._certify_self_splittable(
+                spanner, registered.automaton
+            )
+            if answer:
+                return Plan("split", registered, None, self_splittable=True,
+                            theorem=theorem, procedure=procedure)
         for registered in self.splitters:
+            if self.method == "fast":
+                # The splittability test (and its canonical rewriting)
+                # has no PTIME fragment; 'fast' stops at the
+                # self-splittability scan above.
+                break
             if not is_disjoint(registered.automaton):
                 continue
             if is_splittable(spanner, registered.automaton,
@@ -210,8 +308,14 @@ class Planner:
                 canonical = canonical_split_spanner(
                     spanner, registered.automaton
                 )
-                return Plan("split", registered, canonical)
-        return Plan("whole", None, None)
+                return Plan(
+                    "split", registered, canonical,
+                    theorem="Theorem 5.15",
+                    procedure=("splittability via canonical "
+                               "split-spanner (Lemma 5.14)"),
+                )
+        return Plan("whole", None, None,
+                    procedure="whole-document evaluation")
 
     def certify(
         self, spanner: VSetAutomaton, fingerprint: Optional[str] = None

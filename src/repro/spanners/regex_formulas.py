@@ -271,7 +271,9 @@ def compile_regex_formula(
     nfa = NFA(extended, states, initial, finals, transitions)
     automaton = VSetAutomaton(alphabet, variables, nfa)
     if require_functional and not automaton.is_functional():
-        raise ValueError(
+        from repro.errors import NotFunctionalError
+
+        raise NotFunctionalError(
             f"regex formula {node.to_string()!r} is not functional"
         )
     return automaton

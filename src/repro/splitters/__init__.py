@@ -6,7 +6,10 @@ disjointness decision procedure of Proposition 5.5.
 
 from repro.splitters.builders import (
     SPLIT_VAR,
+    build_named,
     char_ngram_splitter,
+    known_splitter_names,
+    registry,
     consecutive_sentence_pairs,
     fixed_window_splitter,
     paragraph_splitter,
@@ -25,7 +28,10 @@ from repro.splitters.disjointness import (
 
 __all__ = [
     "SPLIT_VAR",
+    "build_named",
     "char_ngram_splitter",
+    "known_splitter_names",
+    "registry",
     "consecutive_sentence_pairs",
     "fixed_window_splitter",
     "paragraph_splitter",

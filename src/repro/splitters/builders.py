@@ -19,8 +19,11 @@ Text conventions for the synthetic corpora (see DESIGN.md):
 
 from __future__ import annotations
 
+import re as _re
 from functools import reduce
-from typing import Hashable, Iterable
+from typing import Callable, Dict, Hashable, Iterable
+
+from repro.errors import UnknownSplitterError
 
 from repro.automata.regex import (
     Concat,
@@ -248,6 +251,70 @@ def fixed_window_splitter(
                Capture(variable, seq(any_char, up_to(any_char, width - 2))))
     formula = Union_(full, tail)
     return compile_regex_formula(formula, alphabet)
+
+
+# ----------------------------------------------------------------------
+# The name -> builder registry
+# ----------------------------------------------------------------------
+
+#: Plain names: each maps to ``builder(alphabet) -> VSetAutomaton``.
+_NAMED_BUILDERS: Dict[str, Callable] = {
+    "tokens": token_splitter,
+    "sentences": sentence_splitter,
+    "paragraphs": paragraph_splitter,
+    "records": record_splitter,
+    "whole": whole_document_splitter,
+}
+
+#: Parametric families ``<family><N>`` (e.g. ``ngram3``, ``window8``):
+#: each maps to ``(builder(alphabet, n), default n)``.
+_PARAMETRIC_BUILDERS: Dict[str, tuple] = {
+    "ngram": (token_ngram_splitter, 2),
+    "window": (fixed_window_splitter, 8),
+}
+
+_PARAMETRIC_NAME = _re.compile(r"^([a-z]+?)(\d*)$")
+
+
+def registry() -> Dict[str, Callable]:
+    """The name -> builder mapping of the plain (non-parametric) names.
+
+    Every builder takes the document alphabet and returns the
+    splitter's VSet-automaton.  Parametric families (``ngram<N>``,
+    ``window<N>``) are resolved by :func:`build_named`; their family
+    names are listed by :func:`known_splitter_names`.
+    """
+    return dict(_NAMED_BUILDERS)
+
+
+def known_splitter_names() -> list:
+    """Every name :func:`build_named` accepts, parametric families as
+    ``family<N>`` templates (the CLI help and error-message list)."""
+    return sorted(_NAMED_BUILDERS) + sorted(
+        f"{family}<N>" for family in _PARAMETRIC_BUILDERS
+    )
+
+
+def build_named(name: str, alphabet: Iterable[str],
+                variable=SPLIT_VAR) -> VSetAutomaton:
+    """Build the splitter called ``name`` over ``alphabet``.
+
+    The single dispatch point shared by the CLI and the fluent
+    :meth:`repro.query.Splitter.named`: plain names come from
+    :func:`registry`; ``ngram<N>`` and ``window<N>`` parse their
+    integer parameter (defaulting to 2 resp. 8 when omitted).  Raises
+    :class:`repro.errors.UnknownSplitterError` (carrying the
+    known-names list) for anything else.
+    """
+    builder = _NAMED_BUILDERS.get(name)
+    if builder is not None:
+        return builder(alphabet, variable=variable)
+    match = _PARAMETRIC_NAME.match(name)
+    if match is not None and match.group(1) in _PARAMETRIC_BUILDERS:
+        builder, default = _PARAMETRIC_BUILDERS[match.group(1)]
+        parameter = int(match.group(2)) if match.group(2) else default
+        return builder(alphabet, parameter, variable=variable)
+    raise UnknownSplitterError(name, known_splitter_names())
 
 
 def consecutive_sentence_pairs(
