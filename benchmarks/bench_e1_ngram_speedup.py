@@ -59,7 +59,13 @@ def test_e1_bigrams(benchmark):
         rounds=1, iterations=1,
     )
     report("E1 N=2", "2.10x (5 cores, 1.53 GB Wikipedia)",
-           f"{result.speedup:.2f}x (5 simulated workers, synthetic)")
+           f"{result.speedup:.2f}x (5 simulated workers, synthetic)",
+           metrics={
+               "workload": "token bigrams, 24-document skewed prose",
+               "speedup": result.speedup,
+               "baseline_seconds": result.baseline_makespan,
+               "split_seconds": result.split_makespan,
+           })
     assert result.speedup > 1.3
 
 
@@ -74,5 +80,11 @@ def test_e1_trigrams(benchmark):
         rounds=1, iterations=1,
     )
     report("E1 N=3", "3.11x (5 cores, 1.53 GB Wikipedia)",
-           f"{result.speedup:.2f}x (5 simulated workers, synthetic)")
+           f"{result.speedup:.2f}x (5 simulated workers, synthetic)",
+           metrics={
+               "workload": "token trigrams, 24-document skewed prose",
+               "speedup": result.speedup,
+               "baseline_seconds": result.baseline_makespan,
+               "split_seconds": result.split_makespan,
+           })
     assert result.speedup > 1.5

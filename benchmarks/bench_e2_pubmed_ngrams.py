@@ -35,5 +35,11 @@ def test_e2_pubmed_bigrams(benchmark):
         rounds=1, iterations=1,
     )
     report("E2", "1.9x (5 cores, 279 MB PubMed)",
-           f"{result.speedup:.2f}x (5 simulated workers, synthetic)")
+           f"{result.speedup:.2f}x (5 simulated workers, synthetic)",
+           metrics={
+               "workload": "PubMed-shaped n-gram extraction",
+               "speedup": result.speedup,
+               "baseline_seconds": result.baseline_makespan,
+               "split_seconds": result.split_makespan,
+           })
     assert result.speedup > 1.2

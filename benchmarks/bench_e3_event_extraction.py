@@ -57,5 +57,13 @@ def test_e3_event_extraction(benchmark):
     )
     report("E3", "1.99x (5-node Spark, ~9,000 Reuters articles)",
            f"{result.speedup:.2f}x (5 simulated workers, "
-           f"{result.baseline_tasks} -> {result.split_tasks} tasks)")
+           f"{result.baseline_tasks} -> {result.split_tasks} tasks)",
+           metrics={
+               "workload": "Reuters-shaped event extraction",
+               "speedup": result.speedup,
+               "baseline_seconds": result.baseline_makespan,
+               "split_seconds": result.split_makespan,
+               "baseline_tasks": result.baseline_tasks,
+               "split_tasks": result.split_tasks,
+           })
     assert result.speedup > 1.2

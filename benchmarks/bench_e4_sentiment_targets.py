@@ -56,5 +56,13 @@ def test_e4_sentiment_targets(benchmark):
     )
     report("E4", "4.16x (5-node Spark, ~570k Amazon reviews)",
            f"{result.speedup:.2f}x (5 simulated workers, "
-           f"{result.baseline_tasks} -> {result.split_tasks} tasks)")
+           f"{result.baseline_tasks} -> {result.split_tasks} tasks)",
+           metrics={
+               "workload": "review-shaped sentiment-target extraction",
+               "speedup": result.speedup,
+               "baseline_seconds": result.baseline_makespan,
+               "split_seconds": result.split_makespan,
+               "baseline_tasks": result.baseline_tasks,
+               "split_tasks": result.split_tasks,
+           })
     assert result.speedup > 1.5

@@ -189,6 +189,12 @@ def test_e6_ngram_kernel_speedup(benchmark):
         "no paper claim (kernel refactor)",
         f"{speedup:.2f}x vs interpreted VSA evaluation "
         f"({compiled * 1e3:.0f}ms vs {interpreted * 1e3:.0f}ms)",
+        metrics={
+            "workload": "E1 token bigrams, 10 boilerplate documents",
+            "speedup": speedup,
+            "compiled_seconds": compiled,
+            "interpreted_seconds": interpreted,
+        },
     )
     assert speedup >= 3.0
 
@@ -206,6 +212,12 @@ def test_e6_engine_kernel_speedup(benchmark):
         f"{interpreted_stats.extraction_seconds:.3f}s), "
         f"artifacts compiled once "
         f"({kernel_stats.artifacts_compiled})",
+        metrics={
+            "workload": "E5 a-run extractor, 24 boilerplate documents",
+            "speedup": speedup,
+            "kernel_seconds": kernel_stats.extraction_seconds,
+            "interpreted_seconds": interpreted_stats.extraction_seconds,
+        },
     )
     assert speedup >= 3.0
 

@@ -3,15 +3,29 @@
 Every benchmark prints a paper-vs-measured row so that running
 ``pytest benchmarks/ --benchmark-only -s`` regenerates the full
 comparison table recorded in EXPERIMENTS.md.
+
+Each :func:`report` call also persists its row — plus any structured
+``metrics`` the benchmark passes (workload shape, wall-clock seconds,
+speedups) — into ``benchmarks/results/BENCH_<name>.json``, one file
+per experiment family (``BENCH_E6.json``, ``BENCH_T1.json``, ...), so
+the performance trajectory is tracked as data across PRs instead of
+living only in commit messages.
 """
 
 from __future__ import annotations
 
+import json
+import re
 import sys
 import time
-from typing import Callable
+from pathlib import Path
+from typing import Callable, Optional
 
 import pytest
+
+#: Where the machine-readable benchmark rows land (committed with the
+#: repo so trajectories diff across PRs).
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
 def timed(function: Callable, repeats: int = 1) -> float:
@@ -24,10 +38,50 @@ def timed(function: Callable, repeats: int = 1) -> float:
     return best
 
 
-def report(experiment: str, paper_claim: str, measured: str) -> None:
-    """Emit one comparison row (captured by ``-s`` runs)."""
+def _bench_name(experiment: str) -> str:
+    """The experiment family of a report label: ``"E6 n-gram"`` ->
+    ``"E6"`` (the ``<name>`` of its ``BENCH_<name>.json``)."""
+    head = experiment.split()[0] if experiment.split() else "MISC"
+    slug = re.sub(r"[^A-Za-z0-9_.-]+", "", head)
+    return slug.upper() or "MISC"
+
+
+def write_bench_json(name: str, experiment: str, entry: dict) -> Path:
+    """Merge one row into ``BENCH_<name>.json`` (keyed by label)."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    data = {"benchmark": name, "entries": {}}
+    if path.exists():
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            pass
+    data.setdefault("entries", {})[experiment] = entry
+    path.write_text(
+        json.dumps(data, indent=2, sort_keys=True, ensure_ascii=False)
+        + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def report(
+    experiment: str,
+    paper_claim: str,
+    measured: str,
+    metrics: Optional[dict] = None,
+) -> None:
+    """Emit one comparison row (captured by ``-s`` runs) and persist
+    it (with optional structured ``metrics``) as JSON."""
     print(f"\n[{experiment}] paper: {paper_claim} | measured: {measured}",
           file=sys.stderr)
+    entry = {"paper_claim": paper_claim, "measured": measured}
+    if metrics:
+        entry.update(metrics)
+    try:
+        write_bench_json(_bench_name(experiment), experiment, entry)
+    except (OSError, TypeError, ValueError):
+        pass  # reporting must never fail a benchmark run
 
 
 @pytest.fixture

@@ -98,6 +98,7 @@ from repro.runtime import (
     split_by_parallel,
 )
 from repro.engine import Corpus, Document, ExtractionEngine, Program
+from repro.index import CorpusIndex, FactorSet, IndexFilter, factors_of
 from repro.runtime import RegisteredSplitter
 
 __version__ = "1.2.0"
@@ -120,6 +121,11 @@ __all__ = [
     "ExtractionEngine",
     "Program",
     "RegisteredSplitter",
+    # Corpus index subsystem (literal/trigram prefiltering).
+    "CorpusIndex",
+    "FactorSet",
+    "IndexFilter",
+    "factors_of",
     # Theorem-level procedures and building blocks.
     "AnnotatedSplitter",
     "BlackBoxSpanner",

@@ -20,6 +20,16 @@ splittability, plus the recommended plan.  The corpus engine
 which certifies once, streams per-document tuple counts as batches
 complete, and reports the plan explanation (theorem, procedure,
 compiled artifact) plus the engine statistics.
+
+The corpus index subsystem (:mod:`repro.index`) is the third
+subcommand: build a persistent trigram index over a corpus's chunks
+once, then let any number of engine runs skip chunks that provably
+cannot match::
+
+    python -m repro index --alphabet 'ab .' --splitter sentences \
+        --file corpus.txt --output corpus.idx
+    python -m repro engine --pattern '...' --alphabet 'ab .' \
+        --file corpus.txt --index corpus.idx
 """
 
 from __future__ import annotations
@@ -32,7 +42,7 @@ from repro.query import Q, Query, Spanner
 
 
 def _build_query(args) -> Query:
-    """The fluent query shared by both subcommands."""
+    """The fluent query shared by the analyze/engine subcommands."""
     spanner = Spanner.regex(args.pattern, frozenset(args.alphabet))
     names = [n.strip() for n in args.splitters.split(",") if n.strip()]
     query = Q(spanner).split_by(*names)
@@ -44,7 +54,26 @@ def _build_query(args) -> Query:
     # validation instead of silently keeping the default.
     if getattr(args, "batch_size", None) is not None:
         query = query.batch_size(args.batch_size)
+    if getattr(args, "index", None) is not None:
+        from repro.index import CorpusIndex
+
+        query = query.indexed(CorpusIndex.load(args.index))
+    elif getattr(args, "prefilter", False):
+        query = query.indexed()
     return query
+
+
+def _collect_corpus(args):
+    """The documents named by ``--text``/``--file`` as a Corpus."""
+    from repro.engine import Corpus, Document
+
+    corpus = Corpus()
+    for index, text in enumerate(args.text or []):
+        corpus.add(Document(f"text-{index:04d}", text))
+    for path in args.file or []:
+        with open(path, encoding="utf-8") as handle:
+            corpus.add(Document(path, handle.read()))
+    return corpus
 
 
 def _print_plan(explain: dict) -> None:
@@ -54,6 +83,14 @@ def _print_plan(explain: dict) -> None:
         print(f"plan: split by {explain['splitter']!r} ({extra})")
     else:
         print("plan: whole-document evaluation (no certified splitter)")
+
+
+def _print_prefilter(explain: dict) -> None:
+    prefilter = explain.get("index") or {}
+    if prefilter.get("enabled"):
+        required = ",".join(prefilter.get("required", [])) or "-"
+        print(f"      index prefilter: {prefilter['mode']} "
+              f"(required literals: {required})")
 
 
 def analyze(args) -> int:
@@ -84,15 +121,8 @@ def analyze(args) -> int:
 
 
 def engine_command(args) -> int:
-    from repro.engine import Corpus, Document
-
-    corpus = Corpus()
     try:
-        for index, text in enumerate(args.text or []):
-            corpus.add(Document(f"text-{index:04d}", text))
-        for path in args.file or []:
-            with open(path, encoding="utf-8") as handle:
-                corpus.add(Document(path, handle.read()))
+        corpus = _collect_corpus(args)
     except (OSError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -105,10 +135,19 @@ def engine_command(args) -> int:
         if args.shards > 1:
             # Sharded runs partition the corpus deterministically; the
             # merged result is materialized shard by shard.
-            results = query.engine().run_sharded(
+            engine = query.engine()
+            if getattr(args, "prefilter", False) and engine.index is None:
+                # .over() auto-indexes; run_sharded bypasses it, so
+                # honour --prefilter's auto-indexing promise here too.
+                engine.attach_index(
+                    engine.build_index(corpus, query.program(),
+                                       num_shards=args.shards)
+                )
+            results = engine.run_sharded(
                 corpus, query.program(), args.shards
             )
             explain = query.explain()
+            explain["index"] = engine.prefilter_report(query.certify())
             by_document = dict(results)
             stats = results.stats
         else:
@@ -122,6 +161,7 @@ def engine_command(args) -> int:
                       f"[{explain['procedure']}]")
             print(f"      compiled artifact: "
                   f"{explain['compiled_artifact']}")
+            _print_prefilter(explain)
             print()
             print(f"{'document':<24} tuples")
             for doc_id, tuples in result_set.stream():   # lazy
@@ -132,10 +172,12 @@ def engine_command(args) -> int:
                             else value)
                 print(f"  {key}: {rendered}")
             return 0
-    except (ReproError, ValueError) as error:
+    except (ReproError, ValueError, OSError) as error:
+        # OSError covers a missing/unreadable --index file.
         print(f"error: {error}", file=sys.stderr)
         return 2
     _print_plan(explain)
+    _print_prefilter(explain)
     print()
     print(f"{'document':<24} tuples")
     for doc_id, tuples in by_document.items():
@@ -144,6 +186,38 @@ def engine_command(args) -> int:
     for key, value in stats.snapshot().items():
         rendered = f"{value:.3f}" if isinstance(value, float) else value
         print(f"  {key}: {rendered}")
+    return 0
+
+
+def index_command(args) -> int:
+    """Build (and optionally persist) a corpus index over chunks."""
+    from repro.index import CorpusIndex
+    from repro.query import Splitter
+
+    try:
+        corpus = _collect_corpus(args)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not len(corpus):
+        print("error: no documents (use --text and/or --file)",
+              file=sys.stderr)
+        return 2
+    try:
+        splitter = Splitter.named(args.splitter, frozenset(args.alphabet))
+        index = CorpusIndex.build(corpus, splitter, num_shards=args.shards)
+    except (ReproError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for key, value in index.describe().items():
+        print(f"  {key}: {value}")
+    if args.output:
+        try:
+            index.save(args.output)
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        print(f"saved index to {args.output}")
     return 0
 
 
@@ -195,11 +269,40 @@ def main(argv=None) -> int:
                                help="chunk/document batch size")
     engine_parser.add_argument("--shards", type=int, default=1,
                                help="process the corpus in N shards")
+    engine_parser.add_argument(
+        "--index", default=None, metavar="PATH",
+        help="corpus index file built by `repro index` (enables "
+             "chunk prefiltering from its posting lists)",
+    )
+    engine_parser.add_argument(
+        "--prefilter", action="store_true",
+        help="prune provably non-matching chunks (auto-indexes the "
+             "corpus when no --index is given)",
+    )
+    index_parser = subparsers.add_parser(
+        "index", help="build a persistent corpus index (repro.index)"
+    )
+    index_parser.add_argument("--alphabet", required=True,
+                              help="document alphabet, e.g. 'ab .'")
+    index_parser.add_argument(
+        "--splitter", default="sentences",
+        help=f"chunking splitter, one of: {known}",
+    )
+    index_parser.add_argument("--text", action="append",
+                              help="inline document (repeatable)")
+    index_parser.add_argument("--file", action="append",
+                              help="path to a document file (repeatable)")
+    index_parser.add_argument("--shards", type=int, default=1,
+                              help="index the corpus in N shards")
+    index_parser.add_argument("--output", default=None, metavar="PATH",
+                              help="write the index as JSON to PATH")
     args = parser.parse_args(argv)
     if args.command == "analyze":
         return analyze(args)
     if args.command == "engine":
         return engine_command(args)
+    if args.command == "index":
+        return index_command(args)
     return 1
 
 

@@ -242,7 +242,12 @@ class ChunkCache:
     ) -> FrozenSet[SpanTuple]:
         frozen = frozenset(results)
         key = (namespace, chunk)
-        if key not in self._results and self.limit is not None:
+        if key in self._results:
+            # A write is a use: refresh recency like lookup() does.
+            self._results[key] = frozen
+            self._results.move_to_end(key)
+            return frozen
+        if self.limit is not None:
             while len(self._results) >= self.limit:
                 self._results.popitem(last=False)
                 self.evictions += 1

@@ -197,6 +197,15 @@ class ExtractionEngine:
     Planner`).  Both caches persist across ``run`` calls, so a
     long-lived engine keeps getting faster as it sees more of the
     workload.
+
+    ``corpus_index`` optionally attaches a
+    :class:`repro.index.CorpusIndex` whose posting lists answer the
+    prefilter's candidate queries; ``prefilter`` controls chunk
+    skipping (:mod:`repro.index`): ``True`` prunes chunks the
+    certified plan provably produces nothing on (scan mode without an
+    index), ``False`` never prunes, and the default ``None`` prunes
+    exactly when an index is attached.  Pruning never changes results
+    — only how many chunks reach the automaton.
     """
 
     def __init__(
@@ -208,6 +217,8 @@ class ExtractionEngine:
         plan_cache: Optional[PlanCache] = None,
         chunk_cache: Optional[ChunkCache] = None,
         method: str = "general",
+        corpus_index: Optional[object] = None,
+        prefilter: Optional[bool] = None,
     ) -> None:
         self.planner = Planner(splitters, method=method)
         self.scheduler = Scheduler(workers=workers, batch_size=batch_size)
@@ -221,9 +232,15 @@ class ExtractionEngine:
         self._registry_fp = registry_fingerprint(self.planner.splitters)
         if method != "general":
             self._registry_fp += f"+{method}"
+        self._index = corpus_index
+        self._prefilter = prefilter
+        # IndexFilter per certificate fingerprint; invalidated when the
+        # index changes (the filter binds the index's candidate mask).
+        self._filters: Dict[str, Optional[object]] = {}
         # Per-engine counters: caches may be shared between engines, so
         # each run attributes only its own cache-counter deltas here.
         self._documents = 0
+        self._chunks_pruned = 0
         self._chunks_total = 0
         self._extraction_seconds = 0.0
         self._tuples_emitted = 0
@@ -302,6 +319,86 @@ class ExtractionEngine:
         ]
 
     # ------------------------------------------------------------------
+    # Index prefiltering
+    # ------------------------------------------------------------------
+
+    @property
+    def index(self):
+        """The attached :class:`repro.index.CorpusIndex`, if any."""
+        return self._index
+
+    def attach_index(self, index) -> None:
+        """Attach (or replace) the corpus index used for prefiltering.
+
+        Takes effect from the next run; with the default
+        ``prefilter=None`` attaching an index is what switches chunk
+        skipping on.
+        """
+        self._index = index
+        self._filters.clear()
+
+    def build_index(self, corpus: CorpusLike, program: ProgramLike,
+                    num_shards: int = 1):
+        """Index ``corpus`` exactly as this engine would chunk it.
+
+        Certifies ``program`` (cached) and feeds every document's plan
+        chunks to a fresh :class:`repro.index.CorpusIndex`, so lookups
+        at run time hit by construction.  The index is returned, not
+        attached — pass it to :meth:`attach_index` (or build once,
+        :meth:`repro.index.CorpusIndex.save`, and reuse forever).
+        """
+        from repro.index import CorpusIndex
+
+        corpus = _as_corpus(corpus)
+        certified = self.certify(program)
+        index = CorpusIndex(splitter=certified.splitter_name)
+        shards = (corpus.shards(num_shards) if num_shards > 1
+                  else [corpus])
+        for shard in shards:
+            for document in shard:
+                index.add_document(
+                    text for _span, text in
+                    self._chunks_of(certified, document)
+                )
+            index.shards_indexed += 1
+        return index
+
+    def _prefilter_for(self, certified: CertifiedPlan):
+        """The :class:`repro.index.IndexFilter` gating this
+        certificate's chunks, or ``None`` when prefiltering is off or
+        the plan has no effective factors (full evaluation)."""
+        enabled = (self._prefilter if self._prefilter is not None
+                   else self._index is not None)
+        if not enabled:
+            return None
+        key = certified.fingerprint or f"plan-{id(certified):x}"
+        if key not in self._filters:
+            from repro.index import IndexFilter
+
+            factors = certified.factor_set()
+            self._filters[key] = (
+                IndexFilter(factors, self._index)
+                if factors is not None and factors.effective else None
+            )
+        return self._filters[key]
+
+    def prefilter_report(self, certified: CertifiedPlan) -> Dict[str, object]:
+        """What the prefilter does under this certificate (the
+        ``"index"`` block of :meth:`repro.query.ResultSet.explain`)."""
+        prefilter = self._prefilter_for(certified)
+        if prefilter is None:
+            enabled = (self._prefilter if self._prefilter is not None
+                       else self._index is not None)
+            return {
+                "enabled": False,
+                "reason": ("no effective factors (full evaluation)"
+                           if enabled else "prefiltering off"),
+            }
+        report: Dict[str, object] = {"enabled": True}
+        report.update(prefilter.describe())
+        return report
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
 
@@ -316,6 +413,7 @@ class ExtractionEngine:
         nothing downstream of the current batch is computed yet.
         """
         runner = self.runner_for(certified, program)
+        prefilter = self._prefilter_for(certified)
         # Chunk results depend on the *runner*, which the certificate
         # determines — namespace the chunk cache by certificate (it
         # covers program and registry), not by program alone.
@@ -327,8 +425,13 @@ class ExtractionEngine:
             tasks = []
             for document in batch:
                 chunks = self._chunks_of(certified, document)
-                tasks.append((document.doc_id, chunks))
                 self._chunks_total += len(chunks)
+                if prefilter is not None and chunks:
+                    admitted = [chunk for chunk in chunks
+                                if prefilter.admits(chunk[1])]
+                    self._chunks_pruned += len(chunks) - len(admitted)
+                    chunks = admitted
+                tasks.append((document.doc_id, chunks))
             resolved = self.scheduler.run(runner, tasks, cache,
                                           chunk_namespace)
             self._chunk_hits += cache.hits - cache_before[0]
@@ -434,6 +537,7 @@ class ExtractionEngine:
             documents=self._documents,
             chunks_total=self._chunks_total,
             chunks_evaluated=self._chunk_misses,
+            chunks_pruned=self._chunks_pruned,
             chunk_cache_hits=self._chunk_hits,
             chunk_cache_misses=self._chunk_misses,
             chunk_cache_size=len(self.chunk_cache),

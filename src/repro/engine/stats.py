@@ -29,6 +29,9 @@ class EngineStats:
     chunks_total: int = 0
     #: Chunk texts actually evaluated by a spanner.
     chunks_evaluated: int = 0
+    #: Chunk instances skipped by the index prefilter (provably empty
+    #: results; see :mod:`repro.index`) — never evaluated, never cached.
+    chunks_pruned: int = 0
     #: Chunk instances served from the chunk cache.
     chunk_cache_hits: int = 0
     #: Chunk cache misses (equals chunks evaluated when unbounded).
@@ -67,6 +70,12 @@ class EngineStats:
         return self.chunks_total / self.extraction_seconds
 
     @property
+    def prune_rate(self) -> float:
+        """Fraction of chunk instances skipped by the index prefilter."""
+        return self.chunks_pruned / self.chunks_total \
+            if self.chunks_total else 0.0
+
+    @property
     def dedup_factor(self) -> float:
         """How many chunk instances each evaluation served on average."""
         if self.chunks_evaluated == 0:
@@ -79,6 +88,8 @@ class EngineStats:
             "documents": self.documents,
             "chunks_total": self.chunks_total,
             "chunks_evaluated": self.chunks_evaluated,
+            "chunks_pruned": self.chunks_pruned,
+            "prune_rate": self.prune_rate,
             "chunk_cache_hits": self.chunk_cache_hits,
             "chunk_cache_misses": self.chunk_cache_misses,
             "chunk_cache_size": self.chunk_cache_size,
@@ -106,6 +117,7 @@ class EngineStats:
             documents=self.documents - before.documents,
             chunks_total=self.chunks_total - before.chunks_total,
             chunks_evaluated=self.chunks_evaluated - before.chunks_evaluated,
+            chunks_pruned=self.chunks_pruned - before.chunks_pruned,
             chunk_cache_hits=self.chunk_cache_hits - before.chunk_cache_hits,
             chunk_cache_misses=(self.chunk_cache_misses
                                 - before.chunk_cache_misses),
@@ -129,6 +141,7 @@ class EngineStats:
             documents=self.documents + other.documents,
             chunks_total=self.chunks_total + other.chunks_total,
             chunks_evaluated=self.chunks_evaluated + other.chunks_evaluated,
+            chunks_pruned=self.chunks_pruned + other.chunks_pruned,
             chunk_cache_hits=self.chunk_cache_hits + other.chunk_cache_hits,
             chunk_cache_misses=(self.chunk_cache_misses
                                 + other.chunk_cache_misses),

@@ -11,6 +11,7 @@ catch those keep working unchanged.
 
 from __future__ import annotations
 
+import difflib
 from typing import Iterable, Optional
 
 
@@ -43,7 +44,8 @@ class CertificationError(ReproError, ValueError):
 class UnknownSplitterError(ReproError, KeyError):
     """A splitter name is not in the builder registry.
 
-    Carries the offending ``name`` and the ``known`` names so callers
+    Carries the offending ``name``, the ``known`` names, and the
+    nearest-name ``suggestion`` (when one is close enough) so callers
     (the CLI, error messages in notebooks) can show what *would* have
     worked.  Subclasses :class:`KeyError` to behave like the failed
     registry lookup it is.
@@ -52,7 +54,12 @@ class UnknownSplitterError(ReproError, KeyError):
     def __init__(self, name: str, known: Optional[Iterable[str]] = None):
         self.name = name
         self.known = sorted(known) if known is not None else []
+        matches = difflib.get_close_matches(name, self.known, n=1,
+                                            cutoff=0.6)
+        self.suggestion: Optional[str] = matches[0] if matches else None
         message = f"unknown splitter {name!r}"
+        if self.suggestion is not None:
+            message += f"; did you mean {self.suggestion!r}?"
         if self.known:
             message += "; known splitters: " + ", ".join(self.known)
         super().__init__(message)

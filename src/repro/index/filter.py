@@ -1,0 +1,108 @@
+"""The :class:`IndexFilter`: a certified plan's chunk-skipping gate.
+
+An ``IndexFilter`` binds a plan's necessary factors
+(:class:`repro.index.factors.FactorSet`, derived once per certificate)
+to an optional :class:`repro.index.trigram.CorpusIndex`.  The engine
+asks it one question per chunk — :meth:`admits` — *before* any
+automaton runs:
+
+* **indexed mode** (index attached, chunk text indexed): one bitmask
+  lookup answers every posting-list-expressible condition at once,
+  so a rejected chunk skips the substring scan;
+* **scan mode** (no index, or unseen text): the factor conditions are
+  checked directly on the chunk text — substring containment and a
+  rolling trigram probe, still orders of magnitude cheaper than the
+  automaton the skip avoids.
+
+Decisions are memoized per distinct chunk text, so the corpus-wide
+text duplication the engine already exploits for chunk caching makes
+repeated instances of a chunk cost one dict lookup here.  The
+candidate bitmask tracks the index's :attr:`repro.index.trigram.
+CorpusIndex.version`: an index grown incrementally (per shard, per
+document) after the filter was built triggers a recomputation instead
+of pruning new texts against a stale snapshot.
+
+Soundness is inherited from the factor analysis: ``admits`` returning
+``False`` proves the chunk's result set is empty, so pruned chunks
+contribute exactly what evaluating them would have — nothing.  The
+candidate bitmask over-approximates (long factors are trigram-
+approximated), so admitted chunks still pass through the exact scan.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.index.factors import FactorSet
+from repro.index.trigram import CorpusIndex
+
+
+class IndexFilter:
+    """Prune chunks a certified plan provably produces nothing on."""
+
+    __slots__ = ("factors", "index", "_mask", "_mask_version",
+                 "_decisions")
+
+    def __init__(
+        self,
+        factors: FactorSet,
+        index: Optional[CorpusIndex] = None,
+    ) -> None:
+        self.factors = factors
+        self.index = index
+        #: Candidate bitmask over the index's text ids (None = the
+        #: index cannot answer any condition; pure scan mode).
+        self._mask: Optional[int] = None
+        self._mask_version: Optional[int] = None
+        #: Memoized admit decision per distinct chunk text (unbounded,
+        #: like the engine's default chunk cache — one bool per
+        #: distinct chunk the corpus exhibits).
+        self._decisions: Dict[str, bool] = {}
+        self._refresh_mask()
+
+    def _refresh_mask(self) -> None:
+        if self.index is not None:
+            self._mask = self.index.candidates(self.factors)
+            self._mask_version = self.index.version
+
+    @property
+    def mode(self) -> str:
+        return "indexed" if self._mask is not None else "scan"
+
+    def admits(self, text: str) -> bool:
+        """Whether ``text`` must be evaluated (False = provably empty)."""
+        if (self.index is not None
+                and self._mask_version != self.index.version):
+            # The index grew since the mask snapshot: recompute, and
+            # drop memoized decisions that may have used the old mask.
+            self._refresh_mask()
+            self._decisions.clear()
+        decision = self._decisions.get(text)
+        if decision is None:
+            decision = self._admits_uncached(text)
+            self._decisions[text] = decision
+        return decision
+
+    def _admits_uncached(self, text: str) -> bool:
+        if self._mask is not None:
+            tid = self.index.text_id(text)
+            if tid is not None and not (self._mask >> tid) & 1:
+                # Posting-list rejection; sound only for in-alphabet
+                # texts (foreign chunks must keep their evaluation-time
+                # error, exactly as FactorSet.admits guarantees).
+                if self.factors.alphabet.issuperset(text):
+                    return False
+        return self.factors.admits(text)
+
+    def describe(self) -> Dict[str, object]:
+        """A flat report for ``ResultSet.explain()`` and the CLI."""
+        report: Dict[str, object] = {"mode": self.mode}
+        report.update(self.factors.describe())
+        if self.index is not None:
+            report["indexed_texts"] = len(self.index)
+            report["index_splitter"] = self.index.splitter
+        return report
+
+    def __repr__(self) -> str:
+        return (f"IndexFilter(mode={self.mode!r}, "
+                f"required={list(self.factors.required)!r})")

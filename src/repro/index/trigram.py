@@ -1,0 +1,286 @@
+"""The :class:`CorpusIndex`: a q-gram posting index over corpus chunks.
+
+The engine deduplicates chunk *texts* corpus-wide (one evaluation per
+distinct text); this index carries that idea one step earlier in the
+pipeline: index every distinct chunk text by its 1/2/3-grams **once**,
+then answer "which chunks could possibly match this program?" for any
+number of future queries by posting-list arithmetic — no automaton,
+no substring scan, just bitmask intersections (the Google Code Search
+trigram-index design, applied to split-correct chunks).
+
+Posting lists are integer bitmasks over dense text ids, so candidate
+computation is a handful of ``&``/``|`` operations regardless of
+corpus size.  Indexes build incrementally — per document, per shard
+(:meth:`CorpusIndex.add_shard`), or over a whole corpus — and persist
+to a self-contained JSON file so a corpus is indexed once and queried
+many times (``repro index`` on the CLI builds one).
+
+Soundness mirrors :class:`repro.index.factors.FactorSet`:
+
+* a required factor of length <= 3 *is* a gram: its posting list is
+  exact;
+* a longer required factor is approximated by intersecting its
+  trigrams' postings (a superset of the texts containing it — the
+  per-chunk scan in :class:`repro.index.filter.IndexFilter` removes
+  the false positives);
+* the trigram OR-set admits every text shorter than 3 characters
+  (tracked in a dedicated mask) since such texts have no trigrams.
+
+A text the index has never seen simply falls back to the scan path —
+an index built with one splitter stays *sound* (merely less useful)
+under a plan that splits differently.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.index.factors import GRAM, FactorSet
+
+_FORMAT_VERSION = 1
+
+
+class CorpusIndex:
+    """A persistent posting index over distinct chunk texts.
+
+    ``splitter`` records (informationally) which splitter produced the
+    indexed chunks; lookups are by exact chunk text, so a mismatched
+    splitter degrades to scan-mode filtering rather than wrong answers.
+    """
+
+    def __init__(self, splitter: Optional[str] = None) -> None:
+        self.splitter = splitter
+        self._texts: List[str] = []
+        self._ids: Dict[str, int] = {}
+        #: gram (length 1..GRAM) -> bitmask over text ids.
+        self._postings: Dict[str, int] = {}
+        #: Texts shorter than GRAM (exempt from the trigram OR-filter).
+        self._short = 0
+        #: Bumped whenever a new text is indexed; consumers holding
+        #: derived state (an :class:`repro.index.filter.IndexFilter`'s
+        #: candidate mask) compare it to recompute after incremental
+        #: growth instead of pruning against a stale snapshot.
+        self.version = 0
+        self.documents = 0
+        self.chunk_instances = 0
+        self.shards_indexed = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        corpus,
+        splitter,
+        name: Optional[str] = None,
+        num_shards: int = 1,
+    ) -> "CorpusIndex":
+        """Index every chunk of ``corpus`` under ``splitter``.
+
+        ``corpus`` is a :class:`repro.engine.Corpus` (or anything its
+        constructor helpers accept); ``splitter`` is anything with
+        ``chunks(text)``/``splits(text)`` (a fluent
+        :class:`repro.query.Splitter`, a fast splitter) or a unary
+        VSet-automaton.  With ``num_shards > 1`` the corpus is
+        partitioned deterministically and indexed shard by shard —
+        the loop a cluster of indexers would distribute.
+        """
+        from repro.engine.engine import _as_corpus
+
+        corpus = _as_corpus(corpus)
+        index = cls(splitter=name or getattr(splitter, "name", None))
+        if num_shards <= 1:
+            index.add_shard(corpus, splitter)
+        else:
+            for shard in corpus.shards(num_shards):
+                index.add_shard(shard, splitter)
+        return index
+
+    @staticmethod
+    def _chunk_texts(splitter, text: str) -> List[str]:
+        if hasattr(splitter, "chunks"):
+            return list(splitter.chunks(text))
+        from repro.runtime.executor import splitter_spans
+
+        return [span.extract(text)
+                for span in splitter_spans(splitter, text)]
+
+    def add_shard(self, corpus, splitter) -> int:
+        """Index one corpus shard; returns distinct texts added."""
+        before = len(self._texts)
+        for document in corpus:
+            self.add_document(self._chunk_texts(splitter, document.text))
+        self.shards_indexed += 1
+        return len(self._texts) - before
+
+    def add_document(self, chunk_texts: Iterable[str]) -> None:
+        """Index one document's chunk texts (repeats deduplicate)."""
+        self.documents += 1
+        for text in chunk_texts:
+            self.chunk_instances += 1
+            self.add_text(text)
+
+    def add_text(self, text: str) -> int:
+        """Index one chunk text; returns its (stable) text id."""
+        tid = self._ids.get(text)
+        if tid is not None:
+            return tid
+        tid = len(self._texts)
+        self._ids[text] = tid
+        self._texts.append(text)
+        bit = 1 << tid
+        grams = set()
+        for size in range(1, GRAM + 1):
+            for start in range(len(text) - size + 1):
+                grams.add(text[start:start + size])
+        postings = self._postings
+        for gram in grams:
+            postings[gram] = postings.get(gram, 0) | bit
+        if len(text) < GRAM:
+            self._short |= bit
+        self.version += 1
+        return tid
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._texts)
+
+    def __contains__(self, text: str) -> bool:
+        return text in self._ids
+
+    def text_id(self, text: str) -> Optional[int]:
+        """The id of an indexed chunk text, or ``None``."""
+        return self._ids.get(text)
+
+    def gram_count(self) -> int:
+        return len(self._postings)
+
+    def candidates(self, factors: FactorSet) -> Optional[int]:
+        """Bitmask of indexed texts that *could* satisfy ``factors``.
+
+        Sound over-approximation: a clear bit proves the text fails a
+        necessary condition; a set bit still needs the exact per-text
+        scan (long factors are approximated by their trigrams).
+        Returns ``None`` when no condition is answerable from postings
+        (the filter then runs in pure scan mode).
+        """
+        count = len(self._texts)
+        if count == 0:
+            return None
+        if factors.empty:
+            return 0
+        everything = (1 << count) - 1
+        mask = everything
+        useful = False
+        for factor in factors.required:
+            if len(factor) <= GRAM:
+                mask &= self._postings.get(factor, 0)
+            else:
+                approximation = everything
+                for start in range(len(factor) - GRAM + 1):
+                    approximation &= self._postings.get(
+                        factor[start:start + GRAM], 0
+                    )
+                mask &= approximation
+            useful = True
+        if factors.trigrams is not None:
+            union = self._short
+            for trigram in factors.trigrams:
+                union |= self._postings.get(trigram, 0)
+            mask &= union
+            useful = True
+        if factors.min_length > 0:
+            length_mask = 0
+            for tid, text in enumerate(self._texts):
+                if len(text) >= factors.min_length:
+                    length_mask |= 1 << tid
+            if length_mask != everything:
+                mask &= length_mask
+                useful = True
+        return mask if useful else None
+
+    def describe(self) -> Dict[str, object]:
+        """Summary counters (the CLI's build report)."""
+        return {
+            "splitter": self.splitter,
+            "documents": self.documents,
+            "chunk_instances": self.chunk_instances,
+            "distinct_texts": len(self._texts),
+            "grams": self.gram_count(),
+            "shards_indexed": self.shards_indexed,
+        }
+
+    def __repr__(self) -> str:
+        return (f"CorpusIndex({len(self._texts)} texts, "
+                f"{self.gram_count()} grams, "
+                f"splitter={self.splitter!r})")
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write a self-contained JSON snapshot of the index."""
+        payload = {
+            "version": _FORMAT_VERSION,
+            "splitter": self.splitter,
+            "documents": self.documents,
+            "chunk_instances": self.chunk_instances,
+            "shards_indexed": self.shards_indexed,
+            "texts": self._texts,
+            "postings": {
+                gram: _mask_to_ids(mask)
+                for gram, mask in sorted(self._postings.items())
+            },
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, ensure_ascii=False)
+
+    @classmethod
+    def load(cls, path: str) -> "CorpusIndex":
+        """Rebuild an index saved by :meth:`save`."""
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        version = payload.get("version")
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported corpus-index format version {version!r}"
+            )
+        index = cls(splitter=payload.get("splitter"))
+        index.documents = int(payload.get("documents", 0))
+        index.chunk_instances = int(payload.get("chunk_instances", 0))
+        index.shards_indexed = int(payload.get("shards_indexed", 0))
+        index._texts = list(payload["texts"])
+        index._ids = {text: tid for tid, text in enumerate(index._texts)}
+        index._postings = {
+            gram: _ids_to_mask(ids)
+            for gram, ids in payload["postings"].items()
+        }
+        for tid, text in enumerate(index._texts):
+            if len(text) < GRAM:
+                index._short |= 1 << tid
+        return index
+
+
+def _mask_to_ids(mask: int) -> List[int]:
+    ids = []
+    tid = 0
+    while mask:
+        if mask & 1:
+            ids.append(tid)
+        mask >>= 1
+        tid += 1
+    return ids
+
+
+def _ids_to_mask(ids: Sequence[int]) -> int:
+    mask = 0
+    for tid in ids:
+        mask |= 1 << tid
+    return mask

@@ -45,7 +45,7 @@ class Query:
 
     __slots__ = ("_spanner", "_splitters", "_method", "_workers",
                  "_batch_size", "_chunk_cache_limit", "_engine",
-                 "_engine_explicit")
+                 "_engine_explicit", "_index")
 
     def __init__(self, spanner: object, **settings: object) -> None:
         if not isinstance(spanner, Spanner):
@@ -63,6 +63,9 @@ class Query:
         object.__setattr__(self, "_engine", settings.get("engine"))
         object.__setattr__(self, "_engine_explicit",
                            settings.get("engine_explicit", False))
+        # None = prefiltering off; True = auto-build on .over();
+        # a CorpusIndex = use the prebuilt index.
+        object.__setattr__(self, "_index", settings.get("index"))
 
     def __setattr__(self, attribute: str, value: object) -> None:
         raise AttributeError("Query is immutable; chain methods instead")
@@ -78,6 +81,7 @@ class Query:
             # over; an engine pinned with .using() does.
             "engine": self._engine if self._engine_explicit else None,
             "engine_explicit": self._engine_explicit,
+            "index": self._index,
         }
         settings.update(overrides)
         return Query(self._spanner, **settings)
@@ -145,6 +149,28 @@ class Query:
         """Bound the corpus-wide chunk cache (LRU; ``None`` = off)."""
         return self._reconfigure(chunk_cache_limit=limit)
 
+    def indexed(self, index=None) -> "Query":
+        """Enable index-backed chunk prefiltering (:mod:`repro.index`).
+
+        With a prebuilt :class:`repro.index.CorpusIndex` the query's
+        engine answers "could this chunk match?" from posting lists;
+        with no argument an index over the target corpus is built
+        automatically when :meth:`over` runs (indexing cost paid once,
+        on the first corpus this query sees).  Prefiltering never
+        changes results: chunks are skipped only when the certified
+        plan provably produces nothing on them, and a spanner with no
+        extractable factors falls back to full evaluation.
+        """
+        from repro.index import CorpusIndex
+
+        if index is not None and not isinstance(index, CorpusIndex):
+            raise ReproError(
+                f"indexed() takes a repro.index.CorpusIndex (or no "
+                f"argument to auto-index on .over()), got "
+                f"{type(index).__name__}"
+            )
+        return self._reconfigure(index=index if index is not None else True)
+
     def using(self, engine) -> "Query":
         """Execute on an existing :class:`repro.engine.
         ExtractionEngine` (its registry, caches, and pool) instead of
@@ -186,6 +212,10 @@ class Query:
                     batch_size=self._batch_size,
                     chunk_cache_limit=self._chunk_cache_limit,
                     method=self._method,
+                    corpus_index=(self._index
+                                  if self._index not in (None, True)
+                                  else None),
+                    prefilter=True if self._index is not None else None,
                 ),
             )
         return self._engine
@@ -214,7 +244,10 @@ class Query:
 
         Accepts a :class:`repro.engine.Corpus`, a mapping ``id ->
         text``, or a plain sequence of texts.  No document is touched
-        until the returned :class:`ResultSet` is consumed.
+        until the returned :class:`ResultSet` is consumed — except
+        under auto-indexing (:meth:`indexed` with no argument), which
+        pays one full chunking-and-indexing pass over the corpus here,
+        up front; pass a prebuilt index to keep ``over`` pass-free.
         """
         from repro.engine.engine import _as_corpus
 
@@ -222,7 +255,17 @@ class Query:
         program = self.program()
         stats_before = engine.stats()
         certified = engine.certify(program)
-        return ResultSet(engine, _as_corpus(corpus), program, certified,
+        corpus = _as_corpus(corpus)
+        if self._index is True and engine.index is None:
+            # Auto-indexing: chunk the corpus exactly as the certified
+            # plan will and index it once; subsequent .over() calls on
+            # this query reuse the attached index.
+            engine.attach_index(engine.build_index(corpus, program))
+        elif (self._index not in (None, True)
+              and engine.index is not self._index):
+            # A prebuilt index also reaches engines pinned via .using().
+            engine.attach_index(self._index)
+        return ResultSet(engine, corpus, program, certified,
                          stats_before=stats_before)
 
     def on(self, document: str) -> Set[SpanTuple]:

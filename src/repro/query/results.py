@@ -205,6 +205,7 @@ class ResultSet:
             report["compiled_artifact"] = \
                 f"{type(runner).__name__}-{id(runner):x}"
         stats = self.stats()
+        report["index"] = self._engine.prefilter_report(self._certified)
         report.update({
             "program": self._program.name,
             "documents": len(self._corpus),

@@ -118,6 +118,11 @@ class CertifiedPlan:
     #: Compiled kernel artifacts produced while certifying (0 or 1);
     #: replays of the certificate never re-lower.
     artifacts_compiled: int = field(default=0, compare=False)
+    #: The specification automaton that was certified (what runs on
+    #: chunks under self-splittable and whole-document plans); the
+    #: index subsystem derives its skip conditions from here.
+    specification: Optional[VSetAutomaton] = field(default=None,
+                                                  compare=False, repr=False)
 
     @property
     def mode(self) -> str:
@@ -154,6 +159,40 @@ class CertifiedPlan:
             "reuses": self.reuses,
             "artifacts_compiled": self.artifacts_compiled,
         }
+
+    def factor_source(self) -> Optional[VSetAutomaton]:
+        """The automaton whose matching language bounds chunk results.
+
+        What actually evaluates chunks under this certificate: the
+        canonical split-spanner for rewritten split plans, otherwise
+        the certified specification itself (self-splittable plans run
+        the program on chunks; whole-document plans run it on the
+        document — one chunk either way).
+        """
+        plan = self.plan
+        if plan.mode != "whole" and plan.split_spanner is not None:
+            return plan.split_spanner
+        return self.specification
+
+    def factor_set(self):
+        """Necessary factors of this plan's chunk evaluation (lazy).
+
+        Computed at most once per certificate — cached certificates
+        replayed from a :class:`repro.engine.cache.PlanCache` carry
+        the analysis with them — and ``None`` when the analysis does
+        not apply (see :func:`repro.index.factors.factors_of`).
+        """
+        if "_factor_set" not in self.__dict__:
+            from repro.index.factors import factors_of
+
+            source = self.factor_source()
+            try:
+                self.__dict__["_factor_set"] = (
+                    factors_of(source) if source is not None else None
+                )
+            except Exception:
+                self.__dict__["_factor_set"] = None
+        return self.__dict__["_factor_set"]
 
     def chunk_runner(self) -> Optional[object]:
         """The chunk evaluator this certificate carries, if any.
@@ -337,4 +376,5 @@ class Planner:
         artifacts = plan.lower()
         elapsed = time.perf_counter() - start
         return CertifiedPlan(plan, elapsed, fingerprint,
-                             artifacts_compiled=artifacts)
+                             artifacts_compiled=artifacts,
+                             specification=spanner)

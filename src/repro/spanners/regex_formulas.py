@@ -270,6 +270,10 @@ def compile_regex_formula(
     extended = alphabet | gamma(variables)
     nfa = NFA(extended, states, initial, finals, transitions)
     automaton = VSetAutomaton(alphabet, variables, nfa)
+    # Remember the source AST: the index subsystem harvests candidate
+    # literal factors from it (repro.index.factors); automata built any
+    # other way simply analyse their NFA paths instead.
+    automaton.formula = node
     if require_functional and not automaton.is_functional():
         from repro.errors import NotFunctionalError
 

@@ -410,3 +410,107 @@ class TestEngineCli:
         ])
         assert code == 2
         assert "no documents" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# Chunk-cache LRU order and corpus edge cases
+# ----------------------------------------------------------------------
+
+
+class TestChunkCacheLruOrder:
+    def fill(self, cache, *texts):
+        for text in texts:
+            cache.store("fp", text, set())
+
+    def test_eviction_follows_recency_order_exactly(self):
+        cache = ChunkCache(limit=3)
+        self.fill(cache, "a", "b", "c")
+        # Recency now a < b < c; touch "a" so order becomes b < c < a.
+        cache.lookup("fp", "a")
+        self.fill(cache, "d")            # evicts "b"
+        assert cache.lookup("fp", "b") is None
+        self.fill(cache, "e")            # evicts "c"
+        assert cache.lookup("fp", "c") is None
+        # "a" survived both rounds because it was refreshed.
+        assert cache.lookup("fp", "a") is not None
+        assert cache.evictions == 2
+
+    def test_restore_of_existing_key_refreshes_recency(self):
+        cache = ChunkCache(limit=2)
+        self.fill(cache, "a", "b")
+        self.fill(cache, "a")            # re-store: refresh, no evict
+        assert cache.evictions == 0
+        self.fill(cache, "c")            # evicts "b", not "a"
+        assert cache.lookup("fp", "b") is None
+        assert cache.lookup("fp", "a") is not None
+
+    def test_misses_do_not_disturb_recency(self):
+        cache = ChunkCache(limit=2)
+        self.fill(cache, "a", "b")
+        cache.lookup("fp", "zzz")        # miss: recency unchanged
+        self.fill(cache, "c")            # still evicts "a"
+        assert cache.lookup("fp", "a") is None
+        assert cache.lookup("fp", "b") is not None
+
+    def test_limit_one_keeps_only_most_recent(self):
+        cache = ChunkCache(limit=1)
+        self.fill(cache, "a", "b", "c")
+        assert len(cache) == 1
+        assert cache.lookup("fp", "c") is not None
+        assert cache.evictions == 2
+
+    def test_invalid_limit_rejected(self):
+        with pytest.raises(ValueError):
+            ChunkCache(limit=0)
+
+
+class TestCorpusEdgeCases:
+    def test_empty_document_flows_through_engine(self):
+        corpus = Corpus.from_texts(["aa a.", "", "a."])
+        engine = ExtractionEngine(registry())
+        result = engine.run(corpus, Program(a_run_extractor()))
+        assert result["doc-0001"] == set()
+        assert len(result) == 3
+        # And the empty shard/batch machinery stays consistent.
+        assert sum(len(s) for s in corpus.shards(5)) == 3
+        assert [len(b) for b in corpus.batches(2)] == [2, 1]
+
+    def test_unicode_ids_and_text_shard_deterministically(self):
+        ids = ["café", "naïve-Ω", "日本語", "emoji-🦉"]
+        corpus = Corpus.from_mapping(
+            {doc_id: "héllo wörld" for doc_id in ids}
+        )
+        assert len(corpus) == 4
+        first = [shard_of(doc_id, 3) for doc_id in ids]
+        second = [shard_of(doc_id, 3) for doc_id in ids]
+        assert first == second
+        shards = corpus.shards(3)
+        collected = sorted(d.doc_id for s in shards for d in s)
+        assert collected == sorted(ids)
+        # Unicode text round-trips untouched.
+        assert corpus["café"].text == "héllo wörld"
+
+    def test_duplicate_document_ids_rejected_everywhere(self):
+        with pytest.raises(ValueError):
+            Corpus([Document("d", "x"), Document("d", "x")])
+        corpus = Corpus.from_mapping({"d": "x"})
+        with pytest.raises(ValueError):
+            corpus.add(Document("d", "y"))
+
+    def test_duplicate_texts_are_distinct_documents_but_shared_chunks(self):
+        corpus = Corpus.from_texts(["aa a.", "aa a.", "aa a."])
+        assert len(corpus) == 3  # identity by id, not content
+        engine = ExtractionEngine(registry())
+        result = engine.run(corpus, Program(a_run_extractor()))
+        assert result["doc-0000"] == result["doc-0002"]
+        stats = engine.stats()
+        # Content dedup happens at the chunk cache, not the corpus.
+        assert stats.chunk_cache_hits > 0
+        assert stats.chunks_evaluated < stats.chunks_total
+
+    def test_shard_index_validation(self):
+        corpus = Corpus.from_texts(["a"])
+        with pytest.raises(ValueError):
+            corpus.shard(3, 3)
+        with pytest.raises(ValueError):
+            shard_of("x", 0)
