@@ -119,9 +119,8 @@ def test_e5_cold_engine_vs_per_document(benchmark):
             "speedup": speedup,
             "baseline_seconds": baseline_seconds,
             "engine_seconds": stats.extraction_seconds,
-            "chunk_hit_rate": stats.chunk_hit_rate,
-            "dedup_factor": stats.dedup_factor,
         },
+        stats=stats,
     )
     assert stats.chunk_cache_hits > 0
     assert stats.certifications == 1
@@ -159,8 +158,8 @@ def test_e5_warm_engine_vs_per_document(benchmark):
             "speedup": speedup,
             "baseline_seconds": baseline_seconds,
             "engine_seconds": warm_seconds,
-            "chunk_hit_rate": stats.chunk_hit_rate,
         },
+        stats=stats,
     )
     assert stats.certifications == 1
     # The warm run evaluates no new chunks at all.
@@ -190,9 +189,8 @@ def test_e5_sharded_run(benchmark):
         f"certifications {stats.certifications}",
         metrics={
             "workload": "boilerplate corpus, 4 deterministic shards",
-            "chunk_hit_rate": stats.chunk_hit_rate,
-            "certifications": stats.certifications,
         },
+        stats=stats,
     )
     assert stats.certifications == 1
     assert stats.chunk_cache_hits > 0

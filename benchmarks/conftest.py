@@ -70,14 +70,32 @@ def report(
     paper_claim: str,
     measured: str,
     metrics: Optional[dict] = None,
+    stats=None,
+    tracer=None,
 ) -> None:
     """Emit one comparison row (captured by ``-s`` runs) and persist
-    it (with optional structured ``metrics``) as JSON."""
+    it (with optional structured ``metrics``) as JSON.
+
+    ``stats`` takes an :class:`repro.engine.stats.EngineStats` (or an
+    object with ``snapshot()``) and lands its full snapshot under
+    ``engine_stats``, so every e-series benchmark records the same
+    counter vocabulary; ``tracer`` takes an enabled
+    :class:`repro.obs.trace.Tracer` and lands its per-phase durations
+    under ``trace_phases``.
+    """
     print(f"\n[{experiment}] paper: {paper_claim} | measured: {measured}",
           file=sys.stderr)
     entry = {"paper_claim": paper_claim, "measured": measured}
     if metrics:
         entry.update(metrics)
+    if stats is not None:
+        try:
+            entry["engine_stats"] = stats.snapshot()
+        except (AttributeError, TypeError):
+            pass
+    if tracer is not None and getattr(tracer, "enabled", False):
+        entry["trace_phases"] = tracer.phase_durations()
+        entry["trace_spans"] = len(tracer)
     try:
         write_bench_json(_bench_name(experiment), experiment, entry)
     except (OSError, TypeError, ValueError):

@@ -99,6 +99,7 @@ from repro.runtime import (
 )
 from repro.engine import Corpus, Document, ExtractionEngine, Program
 from repro.index import CorpusIndex, FactorSet, IndexFilter, factors_of
+from repro.obs import Metrics, Tracer, kernel_metrics
 from repro.runtime import RegisteredSplitter
 
 __version__ = "1.2.0"
@@ -126,6 +127,10 @@ __all__ = [
     "FactorSet",
     "IndexFilter",
     "factors_of",
+    # Observability (tracing spans + metrics registry).
+    "Tracer",
+    "Metrics",
+    "kernel_metrics",
     # Theorem-level procedures and building blocks.
     "AnnotatedSplitter",
     "BlackBoxSpanner",

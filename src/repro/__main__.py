@@ -60,7 +60,24 @@ def _build_query(args) -> Query:
         query = query.indexed(CorpusIndex.load(args.index))
     elif getattr(args, "prefilter", False):
         query = query.indexed()
+    if getattr(args, "trace", None) is not None:
+        query = query.traced()
     return query
+
+
+def _emit_observability(args, query) -> None:
+    """Honour ``--trace FILE`` / ``--metrics`` after a (sub)command ran."""
+    engine = query.engine()
+    if getattr(args, "trace", None) is not None:
+        engine.tracer.export_chrome(args.trace)
+        print(f"wrote Chrome trace ({len(engine.tracer)} spans) "
+              f"to {args.trace}")
+    if getattr(args, "metrics", False):
+        from repro.obs import Metrics, kernel_metrics
+
+        combined = Metrics().merge(engine.metrics).merge(kernel_metrics())
+        print()
+        print(combined.to_prometheus(), end="")
 
 
 def _collect_corpus(args):
@@ -117,6 +134,7 @@ def analyze(args) -> int:
     if explain["theorem"]:
         print(f"      certified by {explain['theorem']} "
               f"[{explain['procedure']}]")
+    _emit_observability(args, query)
     return 0
 
 
@@ -171,6 +189,7 @@ def engine_command(args) -> int:
                 rendered = (f"{value:.3f}" if isinstance(value, float)
                             else value)
                 print(f"  {key}: {rendered}")
+            _emit_observability(args, query)
             return 0
     except (ReproError, ValueError, OSError) as error:
         # OSError covers a missing/unreadable --index file.
@@ -186,6 +205,7 @@ def engine_command(args) -> int:
     for key, value in stats.snapshot().items():
         rendered = f"{value:.3f}" if isinstance(value, float) else value
         print(f"  {key}: {rendered}")
+    _emit_observability(args, query)
     return 0
 
 
@@ -243,6 +263,14 @@ def main(argv=None) -> int:
         choices=["auto", "fast", "general"],
         help="certification procedure selection",
     )
+    analyze_parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="trace certification; write Chrome trace JSON to FILE",
+    )
+    analyze_parser.add_argument(
+        "--metrics", action="store_true",
+        help="print Prometheus metrics after the analysis",
+    )
     engine_parser = subparsers.add_parser(
         "engine", help="run the corpus extraction engine (repro.engine)"
     )
@@ -278,6 +306,16 @@ def main(argv=None) -> int:
         "--prefilter", action="store_true",
         help="prune provably non-matching chunks (auto-indexes the "
              "corpus when no --index is given)",
+    )
+    engine_parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="trace the run (all phases, worker processes included); "
+             "write Chrome trace JSON to FILE (Perfetto-loadable)",
+    )
+    engine_parser.add_argument(
+        "--metrics", action="store_true",
+        help="print Prometheus metrics (engine + compiled kernel) "
+             "after the run",
     )
     index_parser = subparsers.add_parser(
         "index", help="build a persistent corpus index (repro.index)"

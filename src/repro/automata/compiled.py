@@ -36,6 +36,7 @@ sweeps instead of per-position frozenset scans.
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict, deque
 from typing import (
     Dict,
@@ -51,6 +52,7 @@ from typing import (
 
 from repro.automata.nfa import EPSILON, NFA
 from repro.core.spans import Span, SpanTuple
+from repro.obs.metrics import kernel_metrics
 
 State = Hashable
 Symbol = Hashable
@@ -141,6 +143,7 @@ class CompiledNFA:
     """
 
     def __init__(self, nfa: NFA) -> None:
+        lowering_started = time.perf_counter()
         # ---- state numbering: BFS from the initial state, visiting
         # transitions in sorted-repr order so the numbering (and hence
         # every derived table) is deterministic for a given automaton.
@@ -206,6 +209,19 @@ class CompiledNFA:
                 finals_mask |= 1 << index
         self.finals_mask: int = finals_mask
         self._lazy: Optional[LazyDFA] = None
+
+        # Transition-fill and construction accounting: how dense the
+        # lowered tables are and what lowering cost, reported into the
+        # process-global kernel registry (:mod:`repro.obs.metrics`).
+        metrics = kernel_metrics()
+        metrics.counter("kernel.lowerings").inc()
+        metrics.counter("kernel.states_lowered").inc(n)
+        metrics.counter("kernel.transitions_filled").inc(
+            sum(len(row) for row in closed)
+        )
+        metrics.histogram("kernel.lowering_seconds").observe(
+            time.perf_counter() - lowering_started
+        )
 
     # ------------------------------------------------------------------
     # Core bitset semantics
@@ -356,6 +372,15 @@ class LazyDFA:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        # Row creation/eviction is rare (bounded by max_states between
+        # evictions), so the global counters live off the hot
+        # ``next()`` path; the per-step hit/miss tallies stay plain
+        # attributes.
+        metrics = kernel_metrics()
+        self._states_built = metrics.counter("kernel.lazy_dfa.states_built")
+        self._states_evicted = metrics.counter(
+            "kernel.lazy_dfa.states_evicted"
+        )
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -367,8 +392,10 @@ class LazyDFA:
             while len(self._rows) >= self.max_states:
                 self._rows.popitem(last=False)
                 self.evictions += 1
+                self._states_evicted.inc()
             row = {}
             self._rows[mask] = row
+            self._states_built.inc()
         else:
             self._rows.move_to_end(mask)
         nxt = row.get(symbol_index)

@@ -37,6 +37,8 @@ from typing import (
 )
 
 from repro.core.spans import Span, SpanTuple, whole_span
+from repro.obs.metrics import Metrics
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.executor import SpannerLike, splitter_spans
 from repro.runtime.planner import CertifiedPlan, Planner, RegisteredSplitter
 from repro.spanners.vset_automaton import VSetAutomaton
@@ -206,6 +208,14 @@ class ExtractionEngine:
     index), ``False`` never prunes, and the default ``None`` prunes
     exactly when an index is attached.  Pruning never changes results
     — only how many chunks reach the automaton.
+
+    ``tracer`` attaches an enabled :class:`repro.obs.trace.Tracer`:
+    every phase of every run then lands in its span buffer (including
+    worker-process spans, merged back by the scheduler).  Defaults to
+    the shared disabled tracer — a no-op.  ``metrics`` supplies the
+    :class:`repro.obs.metrics.Metrics` registry the engine's counters
+    live in; :meth:`stats` is a view over it, and passing a shared
+    registry aggregates several engines into one exposition.
     """
 
     def __init__(
@@ -219,9 +229,16 @@ class ExtractionEngine:
         method: str = "general",
         corpus_index: Optional[object] = None,
         prefilter: Optional[bool] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[Metrics] = None,
     ) -> None:
-        self.planner = Planner(splitters, method=method)
-        self.scheduler = Scheduler(workers=workers, batch_size=batch_size)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics if metrics is not None else Metrics()
+        self.planner = Planner(splitters, method=method,
+                               tracer=self.tracer)
+        self.scheduler = Scheduler(workers=workers, batch_size=batch_size,
+                                   tracer=self.tracer,
+                                   metrics=self.metrics)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.chunk_cache = (chunk_cache if chunk_cache is not None
                             else ChunkCache(chunk_cache_limit))
@@ -237,20 +254,27 @@ class ExtractionEngine:
         # IndexFilter per certificate fingerprint; invalidated when the
         # index changes (the filter binds the index's candidate mask).
         self._filters: Dict[str, Optional[object]] = {}
-        # Per-engine counters: caches may be shared between engines, so
-        # each run attributes only its own cache-counter deltas here.
-        self._documents = 0
-        self._chunks_pruned = 0
-        self._chunks_total = 0
-        self._extraction_seconds = 0.0
-        self._tuples_emitted = 0
-        self._chunk_hits = 0
-        self._chunk_misses = 0
-        self._chunk_evictions = 0
-        self._plan_hits = 0
-        self._certifications = 0
-        self._certification_seconds = 0.0
-        self._artifacts_compiled = 0
+        # Per-engine counters, stored as instruments in the metrics
+        # registry (stats() is a view over them): caches may be shared
+        # between engines, so each run attributes only its own
+        # cache-counter deltas here.  Instrument handles are cached —
+        # the hot loops touch Counter.inc, not registry lookups.
+        counter = self.metrics.counter
+        self._documents = counter("engine.documents")
+        self._chunks_total = counter("engine.chunks_total")
+        self._chunks_pruned = counter("engine.chunks_pruned")
+        self._extraction_seconds = counter("engine.extraction_seconds")
+        self._tuples_emitted = counter("engine.tuples_emitted")
+        self._chunk_hits = counter("engine.chunk_cache.hits")
+        self._chunk_misses = counter("engine.chunk_cache.misses")
+        self._chunk_evictions = counter("engine.chunk_cache.evictions")
+        self._plan_hits = counter("engine.plan_cache.hits")
+        self._certifications = counter("engine.certifications")
+        self._certification_seconds = counter(
+            "engine.certification_seconds")
+        self._artifacts_compiled = counter("engine.artifacts_compiled")
+        self._certification_latency = self.metrics.histogram(
+            "engine.certification_latency_seconds")
 
     # ------------------------------------------------------------------
     # Planning
@@ -265,20 +289,24 @@ class ExtractionEngine:
         program = _as_program(program)
         cache = self.plan_cache
         before = (cache.hits, cache.misses, cache.certification_seconds)
-        certified = cache.get(
-            self.planner, program.specification,
-            spanner_fp=program.fingerprint(),
-            registry_fp=self._registry_fp,
-        )
-        self._plan_hits += cache.hits - before[0]
-        missed = cache.misses - before[1]
-        self._certifications += missed
-        self._certification_seconds += (cache.certification_seconds
-                                        - before[2])
+        with self.tracer.span("certify", program=program.name) as span:
+            certified = cache.get(
+                self.planner, program.specification,
+                spanner_fp=program.fingerprint(),
+                registry_fp=self._registry_fp,
+            )
+            missed = cache.misses - before[1]
+            span.set("cache_hit", not missed)
+            span.set("mode", certified.plan.mode)
+        self._plan_hits.inc(cache.hits - before[0])
+        self._certifications.inc(missed)
+        elapsed = cache.certification_seconds - before[2]
+        self._certification_seconds.inc(elapsed)
         if missed:
+            self._certification_latency.observe(elapsed)
             # A fresh certificate lowered its split spanner onto the
             # compiled kernel (at most once); replays never re-lower.
-            self._artifacts_compiled += certified.artifacts_compiled
+            self._artifacts_compiled.inc(certified.artifacts_compiled)
         return certified
 
     def runner_for(
@@ -297,10 +325,15 @@ class ExtractionEngine:
         if runner is not None:
             return runner
         fresh = "_runner" not in program.__dict__
-        runner = program.runner()
-        if fresh and getattr(runner, "freshly_lowered", False):
-            self._artifacts_compiled += 1
-        return runner
+        if fresh:
+            with self.tracer.span("compile", program=program.name) as span:
+                runner = program.runner()
+                span.set("lowered",
+                         bool(getattr(runner, "freshly_lowered", False)))
+            if getattr(runner, "freshly_lowered", False):
+                self._artifacts_compiled.inc()
+            return runner
+        return program.runner()
 
     @staticmethod
     def _chunks_of(
@@ -377,7 +410,8 @@ class ExtractionEngine:
 
             factors = certified.factor_set()
             self._filters[key] = (
-                IndexFilter(factors, self._index)
+                IndexFilter(factors, self._index,
+                            metrics=self.metrics, plan=key[:12])
                 if factors is not None and factors.effective else None
             )
         return self._filters[key]
@@ -419,29 +453,42 @@ class ExtractionEngine:
         # covers program and registry), not by program alone.
         chunk_namespace = certified.fingerprint or program.fingerprint()
         cache = self.chunk_cache
+        tracer = self.tracer
         for batch in corpus.batches(max(1, self.scheduler.batch_size)):
             start = time.perf_counter()
             cache_before = (cache.hits, cache.misses, cache.evictions)
             tasks = []
-            for document in batch:
-                chunks = self._chunks_of(certified, document)
-                self._chunks_total += len(chunks)
-                if prefilter is not None and chunks:
-                    admitted = [chunk for chunk in chunks
-                                if prefilter.admits(chunk[1])]
-                    self._chunks_pruned += len(chunks) - len(admitted)
-                    chunks = admitted
-                tasks.append((document.doc_id, chunks))
-            resolved = self.scheduler.run(runner, tasks, cache,
-                                          chunk_namespace)
-            self._chunk_hits += cache.hits - cache_before[0]
-            self._chunk_misses += cache.misses - cache_before[1]
-            self._chunk_evictions += cache.evictions - cache_before[2]
-            self._extraction_seconds += time.perf_counter() - start
-            self._documents += len(batch)
+            with tracer.span("split", documents=len(batch)) as span:
+                by_document = [
+                    (document, self._chunks_of(certified, document))
+                    for document in batch
+                ]
+                span.set("chunks",
+                         sum(len(chunks) for _d, chunks in by_document))
+            with tracer.span("prefilter",
+                             active=prefilter is not None) as span:
+                pruned_batch = 0
+                for document, chunks in by_document:
+                    self._chunks_total.inc(len(chunks))
+                    if prefilter is not None and chunks:
+                        admitted = [chunk for chunk in chunks
+                                    if prefilter.admits(chunk[1])]
+                        pruned_batch += len(chunks) - len(admitted)
+                        chunks = admitted
+                    tasks.append((document.doc_id, chunks))
+                self._chunks_pruned.inc(pruned_batch)
+                span.set("pruned", pruned_batch)
+            with tracer.span("schedule", documents=len(batch)):
+                resolved = self.scheduler.run(runner, tasks, cache,
+                                              chunk_namespace)
+            self._chunk_hits.inc(cache.hits - cache_before[0])
+            self._chunk_misses.inc(cache.misses - cache_before[1])
+            self._chunk_evictions.inc(cache.evictions - cache_before[2])
+            self._extraction_seconds.inc(time.perf_counter() - start)
+            self._documents.inc(len(batch))
             for document in batch:
                 tuples = resolved[document.doc_id]
-                self._tuples_emitted += len(tuples)
+                self._tuples_emitted.inc(len(tuples))
                 yield document.doc_id, tuples
 
     def run(
@@ -532,20 +579,12 @@ class ExtractionEngine:
         Counters cover only *this engine's* activity even when the
         caches are shared between engines; ``chunk_cache_size`` is a
         gauge of the (possibly shared) cache's current contents.
+
+        A pure view over the metrics registry
+        (:meth:`repro.engine.stats.EngineStats.from_metrics`): the
+        stats surface and ``self.metrics`` read the same instruments
+        and can never disagree.
         """
-        return EngineStats(
-            documents=self._documents,
-            chunks_total=self._chunks_total,
-            chunks_evaluated=self._chunk_misses,
-            chunks_pruned=self._chunks_pruned,
-            chunk_cache_hits=self._chunk_hits,
-            chunk_cache_misses=self._chunk_misses,
-            chunk_cache_size=len(self.chunk_cache),
-            chunk_cache_evictions=self._chunk_evictions,
-            plan_cache_hits=self._plan_hits,
-            certifications=self._certifications,
-            certification_seconds=self._certification_seconds,
-            artifacts_compiled=self._artifacts_compiled,
-            extraction_seconds=self._extraction_seconds,
-            tuples_emitted=self._tuples_emitted,
+        return EngineStats.from_metrics(
+            self.metrics, chunk_cache_size=len(self.chunk_cache)
         )

@@ -10,18 +10,32 @@ order, and shared between documents.
 ``workers <= 1`` degrades to in-process sequential evaluation (no pool
 overhead), which is also the configuration benchmarks use to isolate
 caching effects from parallelism.
+
+The scheduler is also where worker-side observability comes home
+(:mod:`repro.obs`): with a tracer enabled, pool workers run their
+chunk evaluations inside worker-local spans, drain their span/metric
+buffers after every task, and ship them back with the result; this
+side adopts the spans under the current ``evaluate`` phase span,
+merges the metric deltas (chunk-latency histograms, per-worker busy
+time), and derives queue-wait from the gap between submission and
+each worker span's wall-clock start.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.spans import Span, SpanTuple
+from repro.obs.metrics import Metrics
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.executor import (
     SpannerLike,
+    _evaluate_text_traced,
     _init_worker,
+    _init_worker_traced,
     evaluate_texts_parallel,
 )
 
@@ -49,18 +63,29 @@ class Scheduler:
     dedup granularity; the pool task chunksize is derived per pass in
     :meth:`_evaluate_missing` (several waves per worker, the paper's
     scheduling-granularity effect for skewed chunk costs).
+
+    ``tracer``/``metrics`` are the engine's observability handles: the
+    scheduler brackets its passes in ``evaluate``/``merge`` spans and
+    feeds the chunk-latency histogram; when the tracer is enabled,
+    pool workers collect spans/metrics locally and this side merges
+    them back (see the module docstring).
     """
 
-    def __init__(self, workers: int = 0, batch_size: int = 32) -> None:
+    def __init__(self, workers: int = 0, batch_size: int = 32,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[Metrics] = None) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
         if batch_size < 1:
             raise ValueError("batch_size must be positive")
         self.workers = workers
         self.batch_size = batch_size
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = metrics
         self.last_batch: ScheduledBatch = ScheduledBatch(0, 0, 0)
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._pool_runner: Optional[SpannerLike] = None
+        self._pool_traced = False
 
     # ------------------------------------------------------------------
 
@@ -68,17 +93,22 @@ class Scheduler:
         """A persistent pool initialized with ``runner``.
 
         Reused across document batches (and runs) as long as the
-        runner object is the same, so one corpus run pays pool startup
+        runner object — and the tracing mode, which selects the worker
+        initializer — is the same, so one corpus run pays pool startup
         and spanner shipping once, not once per batch.
         """
-        if self._pool is not None and self._pool_runner is runner:
+        traced = self.tracer.enabled
+        if (self._pool is not None and self._pool_runner is runner
+                and self._pool_traced == traced):
             return self._pool
         self.close()
         self._pool = multiprocessing.Pool(
-            processes=self.workers, initializer=_init_worker,
+            processes=self.workers,
+            initializer=_init_worker_traced if traced else _init_worker,
             initargs=(runner,),
         )
         self._pool_runner = runner
+        self._pool_traced = traced
         return self._pool
 
     def close(self) -> None:
@@ -88,6 +118,7 @@ class Scheduler:
             self._pool.join()
             self._pool = None
             self._pool_runner = None
+            self._pool_traced = False
 
     def __del__(self) -> None:  # best-effort cleanup
         try:
@@ -104,11 +135,59 @@ class Scheduler:
             # Aim for several waves per worker (load balance for skewed
             # chunk costs) without one-text-per-IPC overhead.
             chunksize = max(1, len(texts) // (self.workers * 4))
+            pool = self._pool_for(runner)
+            if self._pool_traced:
+                return self._evaluate_missing_traced(pool, texts,
+                                                     chunksize)
             return evaluate_texts_parallel(
-                runner, texts, chunksize=chunksize,
-                pool=self._pool_for(runner),
+                runner, texts, chunksize=chunksize, pool=pool,
             )
+        if self.metrics is not None:
+            latency = self.metrics.histogram("engine.chunk_eval_seconds")
+            results = []
+            for text in texts:
+                started = time.perf_counter()
+                results.append(set(runner.evaluate(text)))
+                latency.observe(time.perf_counter() - started)
+            return results
         return [set(runner.evaluate(text)) for text in texts]
+
+    def _evaluate_missing_traced(
+        self,
+        pool: "multiprocessing.pool.Pool",
+        texts: Sequence[str],
+        chunksize: int,
+    ) -> List[Set[SpanTuple]]:
+        """The pool pass with worker-side collection merged back.
+
+        Each task returns ``(results, span records, metrics delta)``
+        (see :func:`repro.runtime.executor._evaluate_text_traced`);
+        worker spans are adopted under the currently open ``evaluate``
+        phase span, metric deltas merge into the engine registry, and
+        the gap between submission and each worker span's wall-clock
+        start lands in the queue-wait histogram.
+        """
+        parent_id = self.tracer.current_id()
+        queue_wait = (
+            self.metrics.histogram("scheduler.queue_wait_seconds")
+            if self.metrics is not None else None
+        )
+        submitted = time.time()
+        results: List[Set[SpanTuple]] = []
+        for outcome, records, delta in pool.imap(
+            _evaluate_text_traced, texts, chunksize=chunksize
+        ):
+            results.append(outcome)
+            adopted = self.tracer.adopt(records, parent_id=parent_id)
+            if queue_wait is not None:
+                for record in adopted:
+                    if record.parent_id == parent_id:
+                        queue_wait.observe(
+                            max(0.0, record.start - submitted)
+                        )
+            if self.metrics is not None and delta is not None:
+                self.metrics.merge(delta)
+        return results
 
     def run(
         self,
@@ -143,17 +222,26 @@ class Scheduler:
                     missing.append(text)
 
         # Pass 2: fan the missing texts out (batched over the pool).
-        for text, results in zip(
-            missing, self._evaluate_missing(runner, missing)
+        with self.tracer.span(
+            "evaluate", unique_missing=len(missing),
+            instances=chunk_instances,
+            workers=self.workers if self.workers > 1 else 0,
         ):
-            seen[text] = cache.store(namespace, text, results)
+            for text, results in zip(
+                missing, self._evaluate_missing(runner, missing)
+            ):
+                seen[text] = cache.store(namespace, text, results)
 
         # Pass 3: merge shifted tuples back per document.
-        resolved: Dict[str, Set[SpanTuple]] = {}
-        for doc_id, chunks in documents:
-            merged: Set[SpanTuple] = resolved.setdefault(doc_id, set())
-            for span, text in chunks:
-                merged.update(t.shift(span) for t in seen[text])
+        with self.tracer.span("merge", documents=len(documents)) as span:
+            resolved: Dict[str, Set[SpanTuple]] = {}
+            tuples_merged = 0
+            for doc_id, chunks in documents:
+                merged: Set[SpanTuple] = resolved.setdefault(doc_id, set())
+                for span_, text in chunks:
+                    merged.update(t.shift(span_) for t in seen[text])
+                tuples_merged += len(merged)
+            span.set("tuples", tuples_merged)
 
         self.last_batch = ScheduledBatch(
             len(documents), chunk_instances, len(missing)

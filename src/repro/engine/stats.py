@@ -21,6 +21,12 @@ class EngineStats:
     Produced by :meth:`repro.engine.ExtractionEngine.stats`; all
     counters are cumulative over the engine's lifetime (i.e. across
     ``run`` calls), which is what makes plan-cache reuse visible.
+
+    Since the observability layer (:mod:`repro.obs`) the engine keeps
+    its counters in a :class:`repro.obs.metrics.Metrics` registry and
+    this class is a *view* over it (:meth:`from_metrics`) — the flat
+    stats surface and the exported metrics read the same storage and
+    can never disagree.
     """
 
     #: Documents processed across all runs.
@@ -55,6 +61,36 @@ class EngineStats:
     tuples_emitted: int = 0
     #: Extra key/value pairs (e.g. per-shard breakdowns).
     extra: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_metrics(cls, metrics, chunk_cache_size: int = 0,
+                     extra: Dict[str, float] = None) -> "EngineStats":
+        """The stats view of an engine's metrics registry.
+
+        Reads the ``engine.*`` instruments the engine maintains
+        (:class:`repro.engine.ExtractionEngine`); ``chunk_cache_size``
+        is a live gauge the caller reads off the (possibly shared)
+        cache itself.
+        """
+        value = metrics.value
+        return cls(
+            documents=value("engine.documents"),
+            chunks_total=value("engine.chunks_total"),
+            chunks_evaluated=value("engine.chunk_cache.misses"),
+            chunks_pruned=value("engine.chunks_pruned"),
+            chunk_cache_hits=value("engine.chunk_cache.hits"),
+            chunk_cache_misses=value("engine.chunk_cache.misses"),
+            chunk_cache_size=chunk_cache_size,
+            chunk_cache_evictions=value("engine.chunk_cache.evictions"),
+            plan_cache_hits=value("engine.plan_cache.hits"),
+            certifications=value("engine.certifications"),
+            certification_seconds=value("engine.certification_seconds",
+                                        0.0),
+            artifacts_compiled=value("engine.artifacts_compiled"),
+            extraction_seconds=value("engine.extraction_seconds", 0.0),
+            tuples_emitted=value("engine.tuples_emitted"),
+            extra=dict(extra or {}),
+        )
 
     @property
     def chunk_hit_rate(self) -> float:
@@ -110,9 +146,18 @@ class EngineStats:
         """The delta between two cumulative snapshots of one engine.
 
         Counters subtract; gauges (cache size) keep the later value.
-        This is what one ``run`` contributed to the engine's lifetime
-        totals.
+        ``extra`` entries subtract where both snapshots hold a number
+        and carry over otherwise (labels, per-shard notes).  This is
+        what one ``run`` contributed to the engine's lifetime totals.
         """
+        extra: Dict[str, float] = {}
+        for key, value in self.extra.items():
+            previous = before.extra.get(key)
+            if (isinstance(value, (int, float))
+                    and isinstance(previous, (int, float))):
+                extra[key] = value - previous
+            else:
+                extra[key] = value
         return EngineStats(
             documents=self.documents - before.documents,
             chunks_total=self.chunks_total - before.chunks_total,
@@ -133,10 +178,16 @@ class EngineStats:
             extraction_seconds=(self.extraction_seconds
                                 - before.extraction_seconds),
             tuples_emitted=self.tuples_emitted - before.tuples_emitted,
+            extra=extra,
         )
 
     def merge(self, other: "EngineStats") -> "EngineStats":
-        """Combine counters from another engine (sharded runs)."""
+        """Combine counters from another engine (sharded runs).
+
+        ``extra`` keys present on both sides sum when both values are
+        numeric (they are counters too); non-numeric collisions keep
+        ``other``'s value (the later snapshot wins).
+        """
         merged = EngineStats(
             documents=self.documents + other.documents,
             chunks_total=self.chunks_total + other.chunks_total,
@@ -162,5 +213,11 @@ class EngineStats:
             tuples_emitted=self.tuples_emitted + other.tuples_emitted,
         )
         merged.extra.update(self.extra)
-        merged.extra.update(other.extra)
+        for key, value in other.extra.items():
+            mine = merged.extra.get(key)
+            if (isinstance(value, (int, float))
+                    and isinstance(mine, (int, float))):
+                merged.extra[key] = mine + value
+            else:
+                merged.extra[key] = value
         return merged

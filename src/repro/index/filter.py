@@ -38,18 +38,35 @@ from repro.index.trigram import CorpusIndex
 
 
 class IndexFilter:
-    """Prune chunks a certified plan provably produces nothing on."""
+    """Prune chunks a certified plan provably produces nothing on.
+
+    ``metrics``/``plan`` optionally attach a
+    :class:`repro.obs.metrics.Metrics` registry: every admit decision
+    then feeds per-plan counters (``index.admitted``, ``index.pruned``,
+    ``index.memo_hits``, each labeled ``plan=<prefix>``), so an
+    exposition over a multi-plan engine shows which certificate's
+    filter is doing the pruning.
+    """
 
     __slots__ = ("factors", "index", "_mask", "_mask_version",
-                 "_decisions")
+                 "_decisions", "_admitted", "_pruned", "_memo_hits")
 
     def __init__(
         self,
         factors: FactorSet,
         index: Optional[CorpusIndex] = None,
+        metrics: Optional[object] = None,
+        plan: Optional[str] = None,
     ) -> None:
         self.factors = factors
         self.index = index
+        if metrics is not None:
+            labels = {"plan": plan} if plan else {}
+            self._admitted = metrics.counter("index.admitted", **labels)
+            self._pruned = metrics.counter("index.pruned", **labels)
+            self._memo_hits = metrics.counter("index.memo_hits", **labels)
+        else:
+            self._admitted = self._pruned = self._memo_hits = None
         #: Candidate bitmask over the index's text ids (None = the
         #: index cannot answer any condition; pure scan mode).
         self._mask: Optional[int] = None
@@ -81,6 +98,11 @@ class IndexFilter:
         if decision is None:
             decision = self._admits_uncached(text)
             self._decisions[text] = decision
+            counter = self._admitted if decision else self._pruned
+            if counter is not None:
+                counter.inc()
+        elif self._memo_hits is not None:
+            self._memo_hits.inc()
         return decision
 
     def _admits_uncached(self, text: str) -> bool:

@@ -1,0 +1,65 @@
+"""Observability: tracing spans, metrics, and exporters.
+
+The instrumentation substrate under the whole pipeline.  One
+:class:`Tracer` brackets every phase of a run in nestable spans
+(``certify``, ``compile``, ``split``, ``prefilter``, ``schedule``,
+``evaluate``, ``merge``) — including spans recorded *inside pool
+workers* and shipped back through the scheduler — and one
+:class:`Metrics` registry accumulates the counters, gauges and
+mergeable fixed-bucket histograms behind
+:class:`repro.engine.stats.EngineStats`.
+
+Enabling it from the fluent API::
+
+    results = Q(spanner).split_by("tokens").workers(2).traced().over(corpus)
+    results.materialize()
+    results.explain()["trace"]          # per-phase durations
+    print(results.trace.render_tree())  # human-readable span tree
+    results.trace.export_chrome("run.json")   # open in Perfetto
+
+Exporters: Chrome trace-event JSON (:meth:`Tracer.export_chrome`,
+:func:`repro.obs.export.to_chrome_trace`), a span-tree renderer
+(:meth:`Tracer.render_tree`), and Prometheus text exposition
+(:meth:`Metrics.to_prometheus`).  A disabled tracer (the default
+everywhere) is a shared no-op whose cost is one attribute check per
+phase, so production paths keep their speed until tracing is asked
+for.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    kernel_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    PHASES,
+    SpanRecord,
+    Tracer,
+)
+from repro.obs.export import (
+    render_span_tree,
+    to_chrome_trace,
+    to_prometheus,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Tracer",
+    "SpanRecord",
+    "NULL_TRACER",
+    "PHASES",
+    "Metrics",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "kernel_metrics",
+    "to_chrome_trace",
+    "render_span_tree",
+    "to_prometheus",
+    "validate_chrome_trace",
+]

@@ -1,0 +1,236 @@
+"""Trace and metrics exporters: Chrome trace JSON, span trees,
+Prometheus text.
+
+Three consumers, three formats:
+
+* :func:`to_chrome_trace` — the Chrome trace-event JSON array format,
+  loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``; every span becomes a complete (``"ph": "X"``)
+  event on its process/thread track, so parent and pool-worker
+  activity line up on one timeline;
+* :func:`render_span_tree` — a human-readable tree for terminals,
+  durations and key attributes inline;
+* :func:`to_prometheus` — the Prometheus text exposition format for a
+  :class:`repro.obs.metrics.Metrics` registry, histogram buckets as
+  cumulative ``_bucket{le=...}`` series.
+
+:func:`validate_chrome_trace` checks an exported event list against
+the schema the CI smoke job (and any downstream tooling) relies on.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics
+from repro.obs.trace import SpanRecord
+
+#: Trace-event category for every span we emit.
+_CATEGORY = "repro"
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+
+
+def to_chrome_trace(records: Sequence[SpanRecord]) -> Dict[str, object]:
+    """``records`` as a Chrome trace-event JSON object.
+
+    Timestamps are microseconds of wall-clock time, so spans from
+    different processes (pool workers) interleave correctly on the
+    shared timeline; each distinct pid additionally gets a
+    ``process_name`` metadata event so Perfetto labels the tracks.
+    """
+    import os
+
+    events: List[Dict[str, object]] = []
+    own_pid = os.getpid()
+    for pid in sorted({record.pid for record in records}):
+        label = "main" if pid == own_pid else f"worker-{pid}"
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": label},
+        })
+    for record in records:
+        events.append({
+            "name": record.name,
+            "cat": _CATEGORY,
+            "ph": "X",
+            "ts": record.start * 1e6,
+            "dur": record.duration * 1e6,
+            "pid": record.pid,
+            "tid": record.tid,
+            "args": dict(record.attributes),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def validate_chrome_trace(payload: object) -> List[Dict[str, object]]:
+    """Check ``payload`` against the trace-event schema we emit.
+
+    Accepts either the full export object or a bare event list;
+    returns the event list on success and raises :class:`ValueError`
+    describing the first violation otherwise.  This is the CI smoke
+    gate for ``--trace`` output.
+    """
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+    else:
+        events = payload
+    if not isinstance(events, list) or not events:
+        raise ValueError("trace must contain a non-empty traceEvents list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {index} is not an object")
+        for field in ("name", "ph", "pid"):
+            if field not in event:
+                raise ValueError(f"event {index} lacks {field!r}")
+        phase = event["ph"]
+        if phase not in ("X", "M"):
+            raise ValueError(
+                f"event {index} has unsupported phase {phase!r}"
+            )
+        if phase == "X":
+            for field in ("ts", "dur", "tid", "args"):
+                if field not in event:
+                    raise ValueError(f"event {index} lacks {field!r}")
+            if event["dur"] < 0:
+                raise ValueError(f"event {index} has negative duration")
+    if not any(event["ph"] == "X" for event in events):
+        raise ValueError("trace contains no complete (ph=X) span events")
+    return events
+
+
+# ----------------------------------------------------------------------
+# Span-tree rendering
+# ----------------------------------------------------------------------
+
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}µs"
+
+
+def _format_attributes(attributes: Dict[str, object]) -> str:
+    if not attributes:
+        return ""
+    rendered = " ".join(
+        f"{key}={value}" for key, value in sorted(attributes.items())
+    )
+    return f"  [{rendered}]"
+
+
+def render_span_tree(records: Sequence[SpanRecord]) -> str:
+    """``records`` as an indented tree, one line per span.
+
+    Children sort by start time under their parent; spans from worker
+    processes are flagged with their pid.  Orphans (parents not in
+    ``records``) render as roots.
+    """
+    import os
+
+    by_parent: Dict[Optional[int], List[SpanRecord]] = {}
+    known = {record.span_id for record in records}
+    for record in records:
+        parent = (record.parent_id
+                  if record.parent_id in known else None)
+        by_parent.setdefault(parent, []).append(record)
+    for children in by_parent.values():
+        children.sort(key=lambda record: (record.start, record.span_id))
+
+    own_pid = os.getpid()
+    lines: List[str] = []
+
+    def render(record: SpanRecord, depth: int) -> None:
+        indent = "  " * depth
+        origin = f" (pid {record.pid})" if record.pid != own_pid else ""
+        lines.append(
+            f"{indent}{record.name:<{max(1, 24 - len(indent))}} "
+            f"{_format_duration(record.duration):>9}{origin}"
+            f"{_format_attributes(record.attributes)}"
+        )
+        for child in by_parent.get(record.span_id, ()):
+            render(child, depth + 1)
+
+    for root in by_parent.get(None, ()):
+        render(root, 0)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """A legal Prometheus metric name (dots become underscores)."""
+    sanitized = _NAME_SANITIZER.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_labels(labels: Dict[str, object],
+                 extra: Optional[Dict[str, object]] = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    rendered = ",".join(
+        f'{_prom_name(str(key))}="{merged[key]}"'
+        for key in sorted(merged)
+    )
+    return f"{{{rendered}}}"
+
+
+def to_prometheus(metrics: Metrics) -> str:
+    """``metrics`` in the Prometheus text exposition format.
+
+    Counters and gauges emit one sample each; histograms emit the
+    standard cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+    ``_count``.  Instruments sharing a name (label variants) share one
+    ``# TYPE`` header.
+    """
+    by_name: Dict[str, List[object]] = {}
+    kinds: Dict[str, str] = {}
+    for instrument in metrics.instruments():
+        name = _prom_name(instrument.name)
+        by_name.setdefault(name, []).append(instrument)
+        kinds[name] = ("counter" if isinstance(instrument, Counter)
+                       else "gauge" if isinstance(instrument, Gauge)
+                       else "histogram")
+    lines: List[str] = []
+    for name in sorted(by_name):
+        lines.append(f"# TYPE {name} {kinds[name]}")
+        for instrument in by_name[name]:
+            if isinstance(instrument, Histogram):
+                cumulative = 0
+                for index, bound in enumerate(instrument.buckets):
+                    cumulative += instrument.counts[index]
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_prom_labels(instrument.labels, {'le': bound})}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_prom_labels(instrument.labels, {'le': '+Inf'})}"
+                    f" {instrument.count}"
+                )
+                labels = _prom_labels(instrument.labels)
+                lines.append(f"{name}_sum{labels} {instrument.sum}")
+                lines.append(f"{name}_count{labels} {instrument.count}")
+            else:
+                lines.append(
+                    f"{name}{_prom_labels(instrument.labels)} "
+                    f"{instrument.value}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

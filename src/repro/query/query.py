@@ -45,7 +45,7 @@ class Query:
 
     __slots__ = ("_spanner", "_splitters", "_method", "_workers",
                  "_batch_size", "_chunk_cache_limit", "_engine",
-                 "_engine_explicit", "_index")
+                 "_engine_explicit", "_index", "_tracer")
 
     def __init__(self, spanner: object, **settings: object) -> None:
         if not isinstance(spanner, Spanner):
@@ -66,6 +66,8 @@ class Query:
         # None = prefiltering off; True = auto-build on .over();
         # a CorpusIndex = use the prebuilt index.
         object.__setattr__(self, "_index", settings.get("index"))
+        # None = untraced; a repro.obs.Tracer = collect phase spans.
+        object.__setattr__(self, "_tracer", settings.get("tracer"))
 
     def __setattr__(self, attribute: str, value: object) -> None:
         raise AttributeError("Query is immutable; chain methods instead")
@@ -82,6 +84,7 @@ class Query:
             "engine": self._engine if self._engine_explicit else None,
             "engine_explicit": self._engine_explicit,
             "index": self._index,
+            "tracer": self._tracer,
         }
         settings.update(overrides)
         return Query(self._spanner, **settings)
@@ -171,6 +174,28 @@ class Query:
             )
         return self._reconfigure(index=index if index is not None else True)
 
+    def traced(self, tracer=None) -> "Query":
+        """Collect phase spans and metrics while this query runs.
+
+        With no argument a fresh enabled
+        :class:`repro.obs.trace.Tracer` is attached; pass your own to
+        aggregate several queries into one trace.  The trace is
+        reachable from the results — ``results.trace`` is the tracer,
+        ``results.explain()["trace"]`` the per-phase rollup — and
+        covers worker processes too (their spans are merged back by
+        the scheduler).  Untraced queries pay no tracing cost.
+        """
+        from repro.obs.trace import Tracer
+
+        if tracer is None:
+            tracer = Tracer()
+        elif not isinstance(tracer, Tracer):
+            raise ReproError(
+                f"traced() takes a repro.obs.Tracer (or no argument "
+                f"for a fresh one), got {type(tracer).__name__}"
+            )
+        return self._reconfigure(tracer=tracer)
+
     def using(self, engine) -> "Query":
         """Execute on an existing :class:`repro.engine.
         ExtractionEngine` (its registry, caches, and pool) instead of
@@ -216,6 +241,7 @@ class Query:
                                   if self._index not in (None, True)
                                   else None),
                     prefilter=True if self._index is not None else None,
+                    tracer=self._tracer,
                 ),
             )
         return self._engine

@@ -176,6 +176,18 @@ class ResultSet:
     def plan(self) -> CertifiedPlan:
         return self._certified
 
+    @property
+    def trace(self):
+        """The engine's :class:`repro.obs.trace.Tracer` (the shared
+        disabled tracer unless the query was built with
+        :meth:`repro.query.Query.traced`)."""
+        return self._engine.tracer
+
+    @property
+    def metrics(self):
+        """The engine's :class:`repro.obs.metrics.Metrics` registry."""
+        return self._engine.metrics
+
     def stats(self) -> EngineStats:
         """What this run contributed to the engine's counters so far
         (grows as the stream is consumed)."""
@@ -206,6 +218,12 @@ class ResultSet:
                 f"{type(runner).__name__}-{id(runner):x}"
         stats = self.stats()
         report["index"] = self._engine.prefilter_report(self._certified)
+        tracer = self._engine.tracer
+        trace_report: Dict[str, object] = {"enabled": tracer.enabled}
+        if tracer.enabled:
+            trace_report["spans"] = len(tracer)
+            trace_report["phases"] = tracer.phase_durations()
+        report["trace"] = trace_report
         report.update({
             "program": self._program.name,
             "documents": len(self._corpus),

@@ -9,6 +9,8 @@ process pool (our stand-in for the paper's Spark cluster).
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.spans import Span, SpanTuple
@@ -77,6 +79,11 @@ def split_by(
 # ----------------------------------------------------------------------
 
 _WORKER_SPANNER: Optional[SpannerLike] = None
+#: Worker-local observability collectors (traced pools only): spans
+#: and metrics recorded here are drained after every task and shipped
+#: back through the pool with the task result.
+_WORKER_TRACER = None
+_WORKER_METRICS = None
 
 
 def _init_worker(spanner: SpannerLike) -> None:
@@ -86,6 +93,38 @@ def _init_worker(spanner: SpannerLike) -> None:
 
 def _evaluate_text(text: str) -> Set[SpanTuple]:
     return set(_WORKER_SPANNER.evaluate(text))
+
+
+def _init_worker_traced(spanner: SpannerLike) -> None:
+    """Pool initializer for traced runs: ship the spanner and stand up
+    the worker-local span/metric collectors."""
+    from repro.obs import Metrics, Tracer
+
+    global _WORKER_TRACER, _WORKER_METRICS
+    _init_worker(spanner)
+    _WORKER_TRACER = Tracer()
+    _WORKER_METRICS = Metrics()
+
+
+def _evaluate_text_traced(text: str):
+    """Evaluate one chunk inside a worker-side ``evaluate`` span.
+
+    Returns ``(results, span records, metrics delta)``; the scheduler
+    adopts the records into the parent trace (re-parented under its
+    ``evaluate`` phase span) and merges the metrics delta, so a traced
+    parallel run observes exactly what a single process would have.
+    """
+    tracer, metrics = _WORKER_TRACER, _WORKER_METRICS
+    with tracer.span("evaluate", chunk_chars=len(text)) as span:
+        started = time.perf_counter()
+        results = set(_WORKER_SPANNER.evaluate(text))
+        elapsed = time.perf_counter() - started
+        span.set("tuples", len(results))
+    metrics.histogram("engine.chunk_eval_seconds").observe(elapsed)
+    metrics.counter("engine.worker_busy_seconds",
+                    pid=os.getpid()).inc(elapsed)
+    metrics.counter("engine.worker_chunks", pid=os.getpid()).inc()
+    return results, tracer.drain(), metrics.drain()
 
 
 def evaluate_texts_parallel(

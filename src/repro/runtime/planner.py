@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from repro.core.self_splittability import is_self_splittable
 from repro.core.splittability import canonical_split_spanner, is_splittable
 from repro.core.spans import SpanTuple
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.executor import split_by, split_by_parallel
 from repro.spanners.vset_automaton import VSetAutomaton
 from repro.splitters.disjointness import is_disjoint
@@ -242,10 +243,18 @@ class Planner:
     within the fragment — candidates outside it (and the PSPACE
     splittability scan) are skipped, so a query that nothing certifies
     in PTIME falls back to whole-document evaluation.
+
+    ``tracer`` (:class:`repro.obs.trace.Tracer`) brackets planning in
+    spans: one ``certify.candidate`` span per splitter examined —
+    carrying the splitter name, the theorem that decided it, and the
+    decision — under the ``certify`` span :meth:`certify` opens, plus
+    a ``compile`` span for the kernel lowering.  The default disabled
+    tracer makes all of that a no-op.
     """
 
     def __init__(self, splitters: Sequence[RegisteredSplitter],
-                 method: str = "general") -> None:
+                 method: str = "general",
+                 tracer: Optional[Tracer] = None) -> None:
         from repro.core.api import check_method
 
         check_method(method)
@@ -253,6 +262,7 @@ class Planner:
             splitters, key=lambda s: -s.priority
         )
         self.method = method
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def _certify_self_splittable(
         self, spanner: VSetAutomaton, automaton: VSetAutomaton
@@ -326,11 +336,23 @@ class Planner:
         a splittable candidate is used with its canonical split-spanner
         (Lemma 5.14 makes it the minimal valid choice).  Falls back to
         whole-document evaluation.
+
+        Every candidate examined gets its own ``certify.candidate``
+        span (splitter, check, theorem, decision) on the planner's
+        tracer — the per-theorem timing breakdown of certification.
         """
+        tracer = self.tracer
         for registered in self.splitters:
-            answer, theorem, procedure = self._certify_self_splittable(
-                spanner, registered.automaton
-            )
+            with tracer.span("certify.candidate",
+                             splitter=registered.name,
+                             check="self-splittability") as span:
+                answer, theorem, procedure = self._certify_self_splittable(
+                    spanner, registered.automaton
+                )
+                span.set("decision", answer)
+                if theorem is not None:
+                    span.set("theorem", theorem)
+                    span.set("procedure", procedure)
             if answer:
                 return Plan("split", registered, None, self_splittable=True,
                             theorem=theorem, procedure=procedure)
@@ -342,11 +364,19 @@ class Planner:
                 break
             if not is_disjoint(registered.automaton):
                 continue
-            if is_splittable(spanner, registered.automaton,
-                             require_disjoint=False):
-                canonical = canonical_split_spanner(
-                    spanner, registered.automaton
-                )
+            with tracer.span("certify.candidate",
+                             splitter=registered.name,
+                             check="splittability",
+                             theorem="Theorem 5.15") as span:
+                splittable = is_splittable(spanner, registered.automaton,
+                                           require_disjoint=False)
+                span.set("decision", splittable)
+            if splittable:
+                with tracer.span("certify.rewrite",
+                                 splitter=registered.name):
+                    canonical = canonical_split_spanner(
+                        spanner, registered.automaton
+                    )
                 return Plan(
                     "split", registered, canonical,
                     theorem="Theorem 5.15",
@@ -373,7 +403,9 @@ class Planner:
         """
         start = time.perf_counter()
         plan = self.plan(spanner)
-        artifacts = plan.lower()
+        with self.tracer.span("compile") as span:
+            artifacts = plan.lower()
+            span.set("artifacts", artifacts)
         elapsed = time.perf_counter() - start
         return CertifiedPlan(plan, elapsed, fingerprint,
                              artifacts_compiled=artifacts,
