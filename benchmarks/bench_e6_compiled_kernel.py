@@ -18,13 +18,20 @@ acceptance criteria name:
   evaluation path differs between the two engines (both get identical
   split plans and chunk-cache dedup).
 
-Claims under test: >= 3x speedup on both workloads, identical results,
-and compiled artifacts produced exactly once per certified plan even
+PR 7 adds the **byte-sweep workload**: the kernel-v2 byte-table
+reverse sweep (``suffix_acceptance`` on the ``v2-bytes`` tier) against
+both the v1 reference sweep and the masked-integer sweep on the same
+artifact, with throughput reported in MB/s alongside the speedup.
+
+Claims under test: >= 3x speedup on the n-gram/engine workloads,
+>= 5x on the byte-table sweep, identical results on every tier, and
+compiled artifacts produced exactly once per certified plan even
 across repeated runs (``EngineStats.artifacts_compiled``).
 
 ``python -m benchmarks.bench_e6_compiled_kernel --smoke`` runs a
-scaled-down version with a relaxed (2x) threshold as a CI regression
-gate.
+scaled-down version with relaxed thresholds as a CI regression gate;
+it also covers the ``workers=2`` shared-memory attach path (parity
+with the in-process engine, zero leaked ``/dev/shm`` segments).
 """
 
 from __future__ import annotations
@@ -36,6 +43,8 @@ import pytest
 
 from benchmarks.conftest import report, timed
 from benchmarks.corpora import boilerplate_corpus
+from repro.automata import shm
+from repro.automata.compiled import compile_vset_automaton
 from repro.engine import ExtractionEngine, Program
 from repro.obs import kernel_metrics
 from repro.runtime import RegisteredSplitter
@@ -166,6 +175,48 @@ def measure_engine(n_documents: int):
     return speedup, kernel_stats, interpreted_stats
 
 
+def measure_sweep(n_documents: int, repeats: int = 3) -> dict:
+    """The byte-table sweep workload: ``suffix_acceptance`` over the
+    a-run artifact on every tier, byte-identical tables required.
+
+    Returns speedups of the v2 byte sweep over the v1 reference sweep
+    and over the masked-integer sweep, plus v2 throughput in MB/s
+    (latin-1: one byte per character).
+    """
+    specification = arun_extractor()
+    v2 = compile_vset_automaton(specification)
+    v1 = compile_vset_automaton(specification, byte_tables=False)
+    assert v2.kernel_tier == "v2-bytes"
+    assert v1.kernel_tier == "v1-int"
+    docs = engine_corpus(n_documents)
+    for document in docs:
+        expected = v1.suffix_acceptance_v1(document)
+        assert v2.suffix_acceptance(document) == expected
+        assert v1.suffix_acceptance(document) == expected
+    total_bytes = sum(len(document) for document in docs)
+    bytes_seconds = timed(
+        lambda: [v2.suffix_acceptance(d) for d in docs], repeats=repeats
+    )
+    int_seconds = timed(
+        lambda: [v1.suffix_acceptance(d) for d in docs], repeats=repeats
+    )
+    v1_seconds = timed(
+        lambda: [v1.suffix_acceptance_v1(d) for d in docs],
+        repeats=repeats,
+    )
+    return {
+        "documents": n_documents,
+        "total_bytes": total_bytes,
+        "bytes_seconds": bytes_seconds,
+        "int_seconds": int_seconds,
+        "v1_seconds": v1_seconds,
+        "speedup_vs_v1": v1_seconds / max(bytes_seconds, 1e-9),
+        "speedup_vs_int": int_seconds / max(bytes_seconds, 1e-9),
+        "mb_per_second": total_bytes / max(bytes_seconds, 1e-9) / 1e6,
+        "table_bytes": v2.byte_sweeper.table_bytes(),
+    }
+
+
 # ----------------------------------------------------------------------
 # Benchmarks
 # ----------------------------------------------------------------------
@@ -229,16 +280,93 @@ def test_e6_engine_kernel_speedup(benchmark):
     assert speedup >= 3.0
 
 
+@pytest.mark.benchmark(group="e6-kernel")
+def test_e6_byte_sweep_speedup(benchmark):
+    sweep = benchmark.pedantic(
+        lambda: measure_sweep(n_documents=24), rounds=1, iterations=1,
+    )
+    report(
+        "E6 byte-sweep",
+        "no paper claim (kernel v2)",
+        f"{sweep['speedup_vs_v1']:.1f}x vs v1 reference sweep, "
+        f"{sweep['speedup_vs_int']:.1f}x vs masked-int sweep, "
+        f"{sweep['mb_per_second']:.1f} MB/s",
+        metrics={
+            "workload": (
+                "suffix_acceptance, a-run artifact, "
+                f"{sweep['documents']} boilerplate documents"
+            ),
+            "speedup": sweep["speedup_vs_v1"],
+            "speedup_vs_int": sweep["speedup_vs_int"],
+            "mb_per_second": sweep["mb_per_second"],
+            "total_bytes": sweep["total_bytes"],
+            "bytes_seconds": sweep["bytes_seconds"],
+            "int_seconds": sweep["int_seconds"],
+            "v1_seconds": sweep["v1_seconds"],
+            "table_bytes": sweep["table_bytes"],
+            "kernel_bytes_swept": kernel_metrics().value(
+                "kernel.bytes_swept"),
+            "kernel_table_bytes": kernel_metrics().value(
+                "kernel.table_bytes"),
+        },
+    )
+    assert sweep["speedup_vs_v1"] >= 5.0
+
+
 # ----------------------------------------------------------------------
 # CI smoke gate
 # ----------------------------------------------------------------------
 
 
+def smoke_shm_workers() -> List[str]:
+    """The ``workers=2`` shared-memory attach gate.
+
+    A two-worker engine must agree with the in-process, shm-less
+    engine on the v2 kernel, with every sampled worker attached from
+    shared memory and no ``/dev/shm`` segment left after close.
+    """
+    if not shm.available():  # pragma: no cover - non-POSIX fallback
+        print("[e6-smoke] shm unavailable; skipping workers gate")
+        return []
+    failures = []
+    corpus = engine_corpus(6)
+    specification = arun_extractor()
+    assert specification.compiled().kernel_tier == "v2-bytes"
+
+    pooled = ExtractionEngine(sentence_registry(), workers=2)
+    pooled_result = pooled.run(corpus, Program(specification, name="shm"))
+    segment = pooled.scheduler.shm_segment_name()
+    status = pooled.scheduler.worker_shm_status()
+    pooled.close()
+
+    baseline = ExtractionEngine(sentence_registry(), workers=0,
+                                use_shm=False)
+    baseline_result = baseline.run(
+        corpus, Program(specification, name="baseline")
+    )
+    baseline.close()
+
+    attached = sorted({pid for pid, count in status if count >= 1})
+    print(f"[e6-smoke] shm: segment={segment}, "
+          f"workers attached={attached}")
+    if segment is None:
+        failures.append("workers=2 engine published no shm segment")
+    if not status or any(count < 1 for _pid, count in status):
+        failures.append("a pool worker evaluated without an shm attach")
+    if pooled_result.by_document != baseline_result.by_document:
+        failures.append("workers=2 shm results diverge from in-process")
+    leaked = shm.leaked_segments()
+    if leaked:
+        failures.append(f"leaked /dev/shm segments after close: {leaked}")
+    return failures
+
+
 def run_smoke() -> int:
     """Scaled-down kernel regression gate for CI.
 
-    Relaxed 2x thresholds absorb runner noise; a kernel regression
-    (agreement failure, re-lowering, or loss of the speedup) exits
+    Relaxed thresholds absorb runner noise; a kernel regression
+    (agreement failure, re-lowering, loss of a speedup, a worker that
+    pickles instead of attaching, or a leaked shm segment) exits
     nonzero and fails the build.
     """
     failures = []
@@ -261,6 +389,18 @@ def run_smoke() -> int:
         failures.append(
             f"engine kernel speedup {engine_speedup:.2f}x < 2x"
         )
+
+    sweep = measure_sweep(n_documents=8, repeats=2)
+    print(f"[e6-smoke] byte-sweep: {sweep['speedup_vs_v1']:.1f}x vs "
+          f"v1, {sweep['speedup_vs_int']:.1f}x vs int, "
+          f"{sweep['mb_per_second']:.1f} MB/s")
+    if sweep["speedup_vs_v1"] < 3.0:
+        failures.append(
+            "byte-sweep speedup over v1 "
+            f"{sweep['speedup_vs_v1']:.1f}x < 3x"
+        )
+
+    failures.extend(smoke_shm_workers())
 
     for failure in failures:
         print(f"[e6-smoke] FAIL: {failure}", file=sys.stderr)

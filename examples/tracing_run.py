@@ -47,10 +47,16 @@ def main() -> None:
     print(results.trace.render_tree())
 
     print("== Per-phase rollup (explain()['trace']) ==")
-    trace_report = results.explain()["trace"]
+    explained = results.explain()
+    trace_report = explained["trace"]
     for phase, seconds in sorted(trace_report["phases"].items()):
         print(f"  {phase:<20} {seconds * 1e3:8.2f} ms")
     print(f"  ({trace_report['spans']} spans total)")
+
+    # Which kernel tier ran the chunks: "v2-bytes" (flat byte tables)
+    # here — latin-1 alphabet, small subset automaton — or "v1-int"
+    # (bitset fallback) for wide alphabets / huge automata.
+    print(f"  kernel tier: {explained['kernel_tier']}")
 
     # The Chrome trace loads in Perfetto (https://ui.perfetto.dev) or
     # chrome://tracing; validate_chrome_trace is the same schema gate

@@ -32,6 +32,30 @@ tuples against precomputed per-state move tables, and the
 suffix-acceptance table of :meth:`repro.spanners.vset_automaton.
 VSetAutomaton._suffix_acceptance` is computed by backward bitset
 sweeps instead of per-position frozenset scans.
+
+**Kernel v2 — byte-table sweeps.**  When every document letter is a
+single latin-1 character (which covers UTF-8's ASCII range one byte
+per character, positions preserved), the transition structure is
+lowered *again*, to flat ``bytes`` tables keyed by raw byte values:
+
+* :class:`ByteDFA` — forward acceptance as row-chained table lookups
+  over the encoded word (one list index + one bytes index per byte);
+* :class:`ByteSuffixSweeper` — the suffix-acceptance recurrence as a
+  *reverse* deterministic sweep, one table step per byte instead of a
+  per-position scan over all states.
+
+Both carry batch entry points (:meth:`CompiledNFA.accepts_batch`,
+:meth:`CompiledVSetAutomaton.evaluate_batch`) that sweep many chunk
+texts through one table in a single call, amortizing Python dispatch
+— what the corpus scheduler feeds whole missing-chunk batches into.
+Wide or non-character alphabets, non-latin-1 documents, and automata
+whose byte-subset construction exceeds the 256-row cap all fall back
+to the v1 integer/bitset path; results are byte-identical either way
+(``tests/test_compiled.py`` checks all three tiers differentially).
+The tier in effect is reported as :attr:`CompiledVSetAutomaton.
+kernel_tier` (``"v2-bytes"``/``"v1-int"``) and surfaces in
+``explain()``; sweep volume and table sizes land in the process-global
+registry as ``kernel.bytes_swept`` / ``kernel.table_bytes``.
 """
 
 from __future__ import annotations
@@ -49,6 +73,11 @@ from typing import (
     Set,
     Tuple,
 )
+
+try:  # pragma: no cover - exercised indirectly on every 3.8+ runtime
+    from pickle import PickleBuffer
+except ImportError:  # pragma: no cover - pre-3.8 fallback, tables inline
+    PickleBuffer = None
 
 from repro.automata.nfa import EPSILON, NFA
 from repro.core.spans import Span, SpanTuple
@@ -132,6 +161,179 @@ def _epsilon_closures(eps_edges: List[int], n: int) -> List[int]:
     return closure
 
 
+# ----------------------------------------------------------------------
+# Kernel v2: byte-table lowering
+# ----------------------------------------------------------------------
+
+#: Row ids are stored as single bytes inside 256-wide rows, so a byte
+#: machine holds at most 256 rows (row 0 is the dead sink).  Exceeding
+#: the cap aborts the byte lowering; callers fall back to the v1 path.
+MAX_BYTE_ROWS = 256
+
+
+def _letter_byte(symbol: Symbol) -> Optional[int]:
+    """The byte value of a letter symbol, or ``None`` when the symbol
+    is not a single latin-1 character (byte lowering unavailable)."""
+    if isinstance(symbol, str) and len(symbol) == 1:
+        code = ord(symbol)
+        if code < 256:
+            return code
+    return None
+
+
+class _ByteRowsExhausted(Exception):
+    """Raised internally when a byte-subset construction passes
+    :data:`MAX_BYTE_ROWS`; the builder abandons the byte tier."""
+
+
+class _ByteRowInterner:
+    """Assign dense row ids to subset bitsets during construction.
+
+    Row 0 is always the empty subset (the dead sink, whose all-zero
+    row self-loops); fresh subsets are queued for row construction.
+    """
+
+    def __init__(self) -> None:
+        self.ids: Dict[int, int] = {0: 0}
+        self.masks: List[int] = [0]
+        self.queue: deque = deque()
+
+    def intern(self, mask: int) -> int:
+        rid = self.ids.get(mask)
+        if rid is None:
+            rid = len(self.masks)
+            if rid >= MAX_BYTE_ROWS:
+                raise _ByteRowsExhausted
+            self.ids[mask] = rid
+            self.masks.append(mask)
+            self.queue.append(mask)
+        return rid
+
+
+class ByteDFA:
+    """Forward acceptance as row-chained byte-table lookups.
+
+    ``blob`` concatenates 256-byte rows (``blob[rid * 256 + byte]`` is
+    the successor row id); ``flags`` marks accepting rows; ``start``
+    is the row of the epsilon-closed initial subset.  Bytes outside
+    the alphabet lead to row 0, the dead sink — exactly the v1
+    semantics of an unknown symbol rejecting the word.
+
+    The hot loop is ``rid = rows[rid][b]``: one list index plus one
+    bytes index per input byte, no dict lookups, no bitset arithmetic.
+    """
+
+    def __init__(self, blob: bytes, flags: bytes, start: int) -> None:
+        blob = bytes(blob)
+        self.blob = blob
+        self.flags = bytes(flags)
+        self.start = start
+        self.n_rows = len(blob) // 256
+        self.rows: List[bytes] = [
+            blob[i * 256:(i + 1) * 256] for i in range(self.n_rows)
+        ]
+        self._swept = kernel_metrics().counter("kernel.bytes_swept")
+
+    def table_bytes(self) -> int:
+        return len(self.blob) + len(self.flags)
+
+    def accepts_bytes(self, data) -> bool:
+        """Membership of one encoded word."""
+        rows = self.rows
+        rid = self.start
+        for b in data:
+            rid = rows[rid][b]
+        self._swept.inc(len(data))
+        return self.flags[rid] == 1
+
+    def __reduce_ex__(self, protocol):
+        blob = self.blob
+        if protocol >= 5 and PickleBuffer is not None:
+            blob = PickleBuffer(blob)
+        return (_rebuild_byte_dfa, (blob, self.flags, self.start))
+
+
+def _rebuild_byte_dfa(blob, flags, start) -> ByteDFA:
+    return ByteDFA(blob, flags, start)
+
+
+class ByteSuffixSweeper:
+    """The suffix-acceptance recurrence as a reverse byte-table sweep.
+
+    Rows are deterministic *reverse* subset states: backward-closed
+    bitsets of NFA states, with ``masks[rid]`` the bitset a row stands
+    for.  One sweep walks the encoded document back to front, one
+    table step per byte, and emits the per-position ``finishable``
+    bitsets — replacing the v1 per-position scan over all states.
+    """
+
+    def __init__(self, blob: bytes, masks: Sequence[int],
+                 start: int) -> None:
+        blob = bytes(blob)
+        self.blob = blob
+        self.masks: Tuple[int, ...] = tuple(masks)
+        self.start = start
+        self.n_rows = len(blob) // 256
+        self.rows: List[bytes] = [
+            blob[i * 256:(i + 1) * 256] for i in range(self.n_rows)
+        ]
+        self._swept = kernel_metrics().counter("kernel.bytes_swept")
+
+    def table_bytes(self) -> int:
+        return len(self.blob)
+
+    def sweep_bytes(self, data) -> List[int]:
+        """``finishable`` bitsets for one encoded document."""
+        rows = self.rows
+        masks = self.masks
+        rid = self.start
+        out = [masks[rid]]
+        append = out.append
+        for b in data[::-1]:
+            rid = rows[rid][b]
+            append(masks[rid])
+        self._swept.inc(len(data))
+        out.reverse()
+        return out
+
+    def __reduce_ex__(self, protocol):
+        blob = self.blob
+        if protocol >= 5 and PickleBuffer is not None:
+            blob = PickleBuffer(blob)
+        return (_rebuild_byte_sweeper, (blob, self.masks, self.start))
+
+
+def _rebuild_byte_sweeper(blob, masks, start) -> ByteSuffixSweeper:
+    return ByteSuffixSweeper(blob, masks, start)
+
+
+def _build_byte_tables(
+    start_mask: int,
+    steps: Dict[int, "callable"],
+) -> Optional[Tuple[bytes, List[int], int]]:
+    """Shared byte-subset construction for both sweep directions.
+
+    ``steps`` maps byte values to ``subset -> subset`` transition
+    functions (only alphabet bytes appear; all others dead-end at row
+    0).  Returns ``(blob, row masks, start row id)``, or ``None`` when
+    the construction exceeds :data:`MAX_BYTE_ROWS`.
+    """
+    interner = _ByteRowInterner()
+    try:
+        start = interner.intern(start_mask)
+        rows: Dict[int, bytearray] = {0: bytearray(256)}
+        while interner.queue:
+            mask = interner.queue.popleft()
+            row = bytearray(256)
+            for byte, step in steps.items():
+                row[byte] = interner.intern(step(mask))
+            rows[interner.ids[mask]] = row
+    except _ByteRowsExhausted:
+        return None
+    blob = b"".join(bytes(rows[rid]) for rid in range(len(interner.masks)))
+    return blob, interner.masks, start
+
+
 class CompiledNFA:
     """The dense integer/bitset lowering of one NFA.
 
@@ -209,6 +411,8 @@ class CompiledNFA:
                 finals_mask |= 1 << index
         self.finals_mask: int = finals_mask
         self._lazy: Optional[LazyDFA] = None
+        self._byte_dfa: Optional[ByteDFA] = None
+        self._byte_dfa_built = False
 
         # Transition-fill and construction accounting: how dense the
         # lowered tables are and what lowering cost, reported into the
@@ -246,7 +450,26 @@ class CompiledNFA:
         return self._lazy
 
     def accepts(self, word: Sequence[Symbol]) -> bool:
-        """Membership via the lazy DFA: amortized one lookup/symbol."""
+        """Membership; byte-table sweep when the word is a latin-1
+        string and the byte lowering exists, lazy DFA otherwise."""
+        if type(word) is str:
+            dfa = self.byte_dfa()
+            if dfa is not None:
+                try:
+                    data = word.encode("latin-1")
+                except UnicodeEncodeError:
+                    pass
+                else:
+                    return dfa.accepts_bytes(data)
+        return self.accepts_v1(word)
+
+    def accepts_v1(self, word: Sequence[Symbol]) -> bool:
+        """Membership via the lazy DFA: amortized one lookup/symbol.
+
+        The v1 integer path — always available, used directly by the
+        differential tests and as the fallback for words the byte
+        tier cannot encode.
+        """
         lazy = self.lazy_dfa()
         symbol_id = self.symbol_id
         current = self.start_mask
@@ -258,6 +481,86 @@ class CompiledNFA:
             if not current:
                 return False
         return bool(current & self.finals_mask)
+
+    def accepts_batch(self, words: Sequence[Sequence[Symbol]]) -> List[bool]:
+        """Membership of many words in one call.
+
+        The byte-table hot loop is inlined here — one encode plus one
+        table chase per word, with a single sweep-counter update for
+        the whole batch — so large chunk batches pay Python dispatch
+        once, not per word.  Words the byte tier cannot handle take
+        the v1 path individually; results are identical either way.
+        """
+        out: List[bool] = []
+        append = out.append
+        dfa = self.byte_dfa()
+        if dfa is None:
+            for word in words:
+                append(self.accepts_v1(word))
+            return out
+        rows = dfa.rows
+        flags = dfa.flags
+        start = dfa.start
+        swept = 0
+        for word in words:
+            if type(word) is str:
+                try:
+                    data = word.encode("latin-1")
+                except UnicodeEncodeError:
+                    append(self.accepts_v1(word))
+                    continue
+                rid = start
+                for b in data:
+                    rid = rows[rid][b]
+                swept += len(data)
+                append(flags[rid] == 1)
+            else:
+                append(self.accepts_v1(word))
+        if swept:
+            dfa._swept.inc(swept)
+        return out
+
+    def byte_dfa(self) -> Optional[ByteDFA]:
+        """The forward byte-table machine, built once on first use.
+
+        ``None`` when the eager byte-subset construction exceeds
+        :data:`MAX_BYTE_ROWS` — callers then stay on the v1 path.
+        Symbols that are not single latin-1 characters simply get no
+        byte rows: a latin-1-encodable word cannot contain them, and
+        non-encodable words never reach the byte machine.
+        """
+        if not self._byte_dfa_built:
+            self._byte_dfa = self._build_byte_dfa()
+            self._byte_dfa_built = True
+        return self._byte_dfa
+
+    def _build_byte_dfa(self) -> Optional[ByteDFA]:
+        steps = {}
+        for symbol, index in self.symbol_id.items():
+            byte = _letter_byte(symbol)
+            if byte is not None:
+                steps[byte] = lambda mask, a=index: self.step(mask, a)
+        if not steps and self.symbols:
+            # A fully wide/non-character alphabet: a byte machine could
+            # only ever reject — stay (and report) the v1 tier.
+            return None
+        built = _build_byte_tables(self.start_mask, steps)
+        if built is None:
+            return None
+        blob, masks, start = built
+        finals = self.finals_mask
+        flags = bytes(1 if mask & finals else 0 for mask in masks)
+        dfa = ByteDFA(blob, flags, start)
+        kernel_metrics().counter("kernel.table_bytes").inc(
+            dfa.table_bytes()
+        )
+        return dfa
+
+    @property
+    def kernel_tier(self) -> str:
+        """``"v2-bytes"`` when the byte lowering exists, ``"v1-int"``
+        otherwise (wide alphabet or >256 byte-subset rows)."""
+        return "v2-bytes" if self.byte_dfa() is not None else "v1-int"
 
     def reachable_mask(self) -> int:
         """Bitset of states reachable from the initial state."""
@@ -448,6 +751,9 @@ class CompiledVSetAutomaton:
         letter_moves: List[Dict[Symbol, Tuple[int, ...]]],
         var_moves: List[Tuple[Tuple[int, bool, Tuple[int, ...]], ...]],
         letter_sources: Dict[Symbol, List[Tuple[int, int]]],
+        rev_closed: Dict[Symbol, List[int]],
+        bwd_finals: int,
+        byte_sweeper: Optional[ByteSuffixSweeper] = None,
     ) -> None:
         self.base = base
         self.variables = variables
@@ -456,9 +762,18 @@ class CompiledVSetAutomaton:
         #: Per state: ``(variable index, is_close, target ids)`` triples.
         self.var_moves = var_moves
         #: Per letter: ``(state, direct successor bitset)`` pairs, the
-        #: input of the backward suffix sweep (epsilon handled by the
+        #: input of the v1 backward suffix sweep (epsilon handled by the
         #: backward closure, so these are *unclosed* direct moves).
         self.letter_sources = letter_sources
+        #: Per letter: target-state-indexed backward-closure masks —
+        #: ``rev_closed[a][t]`` is the backward closure of the states
+        #: that reach ``t`` directly on ``a``, so one suffix-sweep step
+        #: is an OR over the set bits of the position's target bitset.
+        self.rev_closed = rev_closed
+        #: Backward closure of the finals — the sweep's seed table.
+        self.bwd_finals = bwd_finals
+        #: Byte-table reverse machine, or ``None`` on the int tier.
+        self.byte_sweeper = byte_sweeper
 
     # -- suffix acceptance ---------------------------------------------
 
@@ -475,7 +790,51 @@ class CompiledVSetAutomaton:
 
     def suffix_acceptance(self, document: Sequence[Symbol]) -> List[int]:
         """``finishable[p]``: bitset of states accepting ``document[p:]``
-        with letters and epsilon moves only (no variable operations)."""
+        with letters and epsilon moves only (no variable operations).
+
+        Dispatch: the byte-table reverse sweep when the document is a
+        latin-1 string and the byte machine exists, otherwise the
+        masked integer path.  All tiers produce identical tables
+        (checked differentially in ``tests/test_compiled.py``).
+        """
+        sweeper = self.byte_sweeper
+        if sweeper is not None and type(document) is str:
+            try:
+                data = document.encode("latin-1")
+            except UnicodeEncodeError:
+                pass
+            else:
+                return sweeper.sweep_bytes(data)
+        return self.suffix_acceptance_int(document)
+
+    def suffix_acceptance_int(
+        self, document: Sequence[Symbol]
+    ) -> List[int]:
+        """The masked integer sweep: per position, OR the precomputed
+        ``rev_closed`` masks of the next table's set bits — work is
+        O(popcount) per position instead of a scan over all states."""
+        n = len(document)
+        tables = [0] * (n + 1)
+        tables[n] = self.bwd_finals
+        rev = self.rev_closed
+        for pos in range(n - 1, -1, -1):
+            row = rev.get(document[pos])
+            out = 0
+            if row is not None:
+                target = tables[pos + 1]
+                while target:
+                    low = target & -target
+                    out |= row[low.bit_length() - 1]
+                    target ^= low
+            tables[pos] = out
+        return tables
+
+    def suffix_acceptance_v1(
+        self, document: Sequence[Symbol]
+    ) -> List[int]:
+        """The PR-2 reference sweep, kept verbatim as the differential
+        baseline: per position, rescan ``letter_sources`` and take the
+        backward closure of the surviving source states."""
         n = len(document)
         tables = [0] * (n + 1)
         tables[n] = self._backward_closure(self.base.finals_mask)
@@ -488,6 +847,12 @@ class CompiledVSetAutomaton:
                     direct |= 1 << state
             tables[pos] = self._backward_closure(direct)
         return tables
+
+    @property
+    def kernel_tier(self) -> str:
+        """``"v2-bytes"`` when the reverse byte machine exists,
+        ``"v1-int"`` otherwise."""
+        return "v2-bytes" if self.byte_sweeper is not None else "v1-int"
 
     # -- evaluation ----------------------------------------------------
 
@@ -549,13 +914,45 @@ class CompiledVSetAutomaton:
                             push(config)
         return results
 
+    def evaluate_batch(
+        self,
+        documents: Sequence[Sequence[Symbol]],
+        latency=None,
+    ) -> List[Set]:
+        """Evaluate many chunk texts against one artifact in one call.
 
-def compile_vset_automaton(vsa) -> CompiledVSetAutomaton:
+        The batch form the scheduler and pool workers feed whole
+        missing-chunk batches into; ``latency`` is an optional
+        histogram observing per-document seconds (the engine's
+        ``engine.chunk_eval_seconds``) without a second dispatch
+        layer.
+        """
+        evaluate = self.evaluate
+        if latency is None:
+            return [evaluate(document) for document in documents]
+        results: List[Set] = []
+        append = results.append
+        clock = time.perf_counter
+        for document in documents:
+            started = clock()
+            append(evaluate(document))
+            latency.observe(clock() - started)
+        return results
+
+
+def compile_vset_automaton(
+    vsa, byte_tables: bool = True
+) -> CompiledVSetAutomaton:
     """Lower a :class:`repro.spanners.vset_automaton.VSetAutomaton`.
 
     Reuses the underlying NFA's compiled form (one lowering serves both
     language-level queries and spanner evaluation), then derives the
-    source-closed move tables and the suffix-sweep inputs.
+    source-closed move tables and the suffix-sweep inputs — including
+    the precomputed backward-closure masks and, when every document
+    letter is a single latin-1 character and the reverse subset
+    construction fits :data:`MAX_BYTE_ROWS`, the byte-table sweeper.
+    ``byte_tables=False`` pins the v1 integer tier (differential
+    tests compare the tiers this way).
     """
     from repro.spanners.refwords import VarOp
 
@@ -603,6 +1000,67 @@ def compile_vset_automaton(vsa) -> CompiledVSetAutomaton:
             if letter is not None:
                 letter_sources.setdefault(letter, []).append((s, mask))
 
+    # ---- precomputed backward-closure structure for the suffix sweep.
+    # ``bwd_single[t]`` is the transpose of the epsilon closure — the
+    # states whose closure contains ``t`` — so any backward closure is
+    # an OR of ``bwd_single`` rows over set bits.
+    bwd_single = [0] * n
+    for s in range(n):
+        sbit = 1 << s
+        for t in bits(base.closure[s]):
+            bwd_single[t] |= sbit
+
+    bwd_finals = 0
+    for t in bits(base.finals_mask):
+        bwd_finals |= bwd_single[t]
+
+    rev_closed: Dict[Symbol, List[int]] = {}
+    for letter, pairs in letter_sources.items():
+        row = [0] * n
+        for s, mask in pairs:
+            sb = bwd_single[s]
+            for t in bits(mask):
+                row[t] |= sb
+        rev_closed[letter] = row
+
+    # ---- reverse byte machine: deterministic subset construction over
+    # backward-closed bitsets, seeded at the closed finals.  Letters
+    # that are not single latin-1 characters get no byte rows — they
+    # cannot occur in a latin-1-encodable document, and any other
+    # document falls back to the integer sweep before reaching here.
+    byte_sweeper = None
+    if byte_tables:
+        byte_steps = {}
+        for letter, row in rev_closed.items():
+            byte = _letter_byte(letter)
+            if byte is None:
+                continue
+
+            def step(mask: int, row: List[int] = row) -> int:
+                out = 0
+                while mask:
+                    low = mask & -mask
+                    out |= row[low.bit_length() - 1]
+                    mask ^= low
+                return out
+
+            byte_steps[byte] = step
+        if not byte_steps and rev_closed:
+            # No letter survives the byte lowering (wide alphabet):
+            # keep the compiled spanner honestly on the v1 tier.
+            return CompiledVSetAutomaton(
+                base, variables, letter_moves, var_moves, letter_sources,
+                rev_closed, bwd_finals, None,
+            )
+        built = _build_byte_tables(bwd_finals, byte_steps)
+        if built is not None:
+            blob, masks, start = built
+            byte_sweeper = ByteSuffixSweeper(blob, masks, start)
+            kernel_metrics().counter("kernel.table_bytes").inc(
+                byte_sweeper.table_bytes()
+            )
+
     return CompiledVSetAutomaton(
-        base, variables, letter_moves, var_moves, letter_sources
+        base, variables, letter_moves, var_moves, letter_sources,
+        rev_closed, bwd_finals, byte_sweeper,
     )

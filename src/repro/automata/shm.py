@@ -1,0 +1,270 @@
+"""Shared-memory publication of frozen kernel artifacts.
+
+Pool workers need the compiled chunk runner — a frozen artifact whose
+bulk is flat table buffers (:class:`repro.automata.compiled.ByteDFA`
+rows, suffix-sweeper rows, bitset tables).  Shipping it through pool
+initializer pickling serializes the artifact once per pool *into every
+worker's pipe*; this module instead publishes it **once** into a
+:mod:`multiprocessing.shared_memory` segment, and workers attach by
+segment *name* — a short string — then materialize the artifact from
+the mapped buffer.
+
+Layout of a segment::
+
+    MAGIC | u64 payload length | u64 buffer count | u64 lengths ... |
+    pickle-protocol-5 payload | out-of-band buffers ...
+
+The payload is pickled with ``buffer_callback``, so the large table
+blobs (everything that implements ``__reduce_ex__`` with
+:class:`pickle.PickleBuffer`) land as raw out-of-band byte ranges
+after it, not as copies inside the pickle stream.
+
+Lifecycle rules (tested in ``tests/test_shm.py``):
+
+* every ``publish`` is recorded in the process-wide :func:`registry`;
+* the creator unlinks explicitly (scheduler/engine ``close()``) and
+  the registry's ``atexit`` hook unlinks anything that remains, so a
+  crashed or force-terminated pool never strands ``/dev/shm`` entries
+  — the creator owns the segment, workers only ever map it;
+* workers *unregister* their attachment from the
+  ``multiprocessing.resource_tracker`` (CPython registers shared
+  memory on attach, not just create, and would otherwise unlink the
+  segment when the first worker exits).
+
+Counters: ``kernel.shm_published`` / ``kernel.shm_bytes`` on the
+publishing side, ``kernel.shm_attaches`` in each attaching process,
+all in the process-global :func:`repro.obs.metrics.kernel_metrics`
+registry.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import pickle
+import struct
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import kernel_metrics
+
+try:  # pragma: no cover - present on every supported platform
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover - no shm: publishing disabled
+    resource_tracker = None  # type: ignore[assignment]
+    shared_memory = None  # type: ignore[assignment]
+
+#: Segment names are ``<prefix>_<pid>_<seq>`` — greppable in
+#: ``/dev/shm`` (that is what the leak tests and the CI smoke assert
+#: on) and collision-free per publishing process.
+SEGMENT_PREFIX = "repro_kernel"
+
+_MAGIC = b"RKS1"
+_HEADER = struct.Struct("<4sQQ")
+_LENGTH = struct.Struct("<Q")
+_SEQUENCE = itertools.count()
+
+
+def available() -> bool:
+    """Whether this platform can publish shared-memory artifacts."""
+    return shared_memory is not None
+
+
+def _encode(artifact: object) -> bytes:
+    """The segment image for ``artifact`` (header + payload + buffers)."""
+    buffers: List[pickle.PickleBuffer] = []
+    payload = pickle.dumps(
+        artifact, protocol=5, buffer_callback=buffers.append
+    )
+    raws = [buffer.raw() for buffer in buffers]
+    parts = [_HEADER.pack(_MAGIC, len(payload), len(raws))]
+    for raw in raws:
+        parts.append(_LENGTH.pack(raw.nbytes))
+    parts.append(payload)
+    parts.extend(raws)
+    return b"".join(parts)
+
+
+def _decode(view) -> object:
+    """Materialize the artifact from a mapped segment buffer.
+
+    Table bytes are copied out of the mapping (they are modest — a few
+    hundred KB of rows — and owning them lets the worker close the
+    mapping immediately, keeping segment lifetime entirely with the
+    creator).
+    """
+    magic, payload_length, buffer_count = _HEADER.unpack_from(view, 0)
+    if magic != _MAGIC:
+        raise ValueError("not a repro kernel artifact segment")
+    offset = _HEADER.size
+    lengths = []
+    for _ in range(buffer_count):
+        (length,) = _LENGTH.unpack_from(view, offset)
+        lengths.append(length)
+        offset += _LENGTH.size
+    payload = bytes(view[offset:offset + payload_length])
+    offset += payload_length
+    buffers = []
+    for length in lengths:
+        buffers.append(bytes(view[offset:offset + length]))
+        offset += length
+    return pickle.loads(payload, buffers=buffers)
+
+
+class PublishedArtifact:
+    """Creator-side handle on one published segment."""
+
+    def __init__(self, name: str, segment, size: int) -> None:
+        self.name = name
+        self.size = size
+        self._segment = segment
+
+    def unlink(self) -> None:
+        """Release the mapping and remove the segment (idempotent)."""
+        segment, self._segment = self._segment, None
+        if segment is None:
+            return
+        try:
+            segment.close()
+        except Exception:  # pragma: no cover - close is best-effort
+            pass
+        try:
+            segment.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+
+    def __repr__(self) -> str:
+        return f"PublishedArtifact({self.name!r}, size={self.size})"
+
+
+class ShmRegistry:
+    """Ledger of every segment this process has published.
+
+    The guarantee the lifecycle tests lean on: whatever happens to the
+    pool (clean close, forced terminate, worker crash), unlinking goes
+    through here — :meth:`unlink` per segment on scheduler close, and
+    :meth:`unlink_all` from the ``atexit`` hook as the last resort.
+    """
+
+    def __init__(self) -> None:
+        self._published: Dict[str, PublishedArtifact] = {}
+
+    def publish(self, artifact: object) -> PublishedArtifact:
+        """Write ``artifact`` into a fresh segment and record it."""
+        if shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        image = _encode(artifact)
+        while True:
+            name = f"{SEGMENT_PREFIX}_{os.getpid()}_{next(_SEQUENCE)}"
+            try:
+                segment = shared_memory.SharedMemory(
+                    name=name, create=True, size=max(1, len(image))
+                )
+                break
+            except FileExistsError:  # stale name from a dead process
+                continue
+        segment.buf[: len(image)] = image
+        published = PublishedArtifact(name, segment, len(image))
+        self._published[name] = published
+        metrics = kernel_metrics()
+        metrics.counter("kernel.shm_published").inc()
+        metrics.counter("kernel.shm_bytes").inc(len(image))
+        return published
+
+    def unlink(self, name: str) -> None:
+        """Unlink one published segment (idempotent, unknown ok)."""
+        published = self._published.pop(name, None)
+        if published is not None:
+            published.unlink()
+
+    def unlink_all(self) -> None:
+        """Unlink everything still published (the ``atexit`` sweep)."""
+        for name in list(self._published):
+            self.unlink(name)
+
+    def published_names(self) -> List[str]:
+        return sorted(self._published)
+
+    def __len__(self) -> int:
+        return len(self._published)
+
+
+_REGISTRY = ShmRegistry()
+atexit.register(_REGISTRY.unlink_all)
+
+#: Attachments performed by *this* process (workers report this via
+#: the scheduler's probe to prove they attached instead of unpickling).
+_ATTACHES = 0
+
+
+def registry() -> ShmRegistry:
+    """The process-wide publication ledger."""
+    return _REGISTRY
+
+
+def _open_untracked(name: str):
+    """Map an existing segment without ``resource_tracker`` tracking.
+
+    CPython registers shared memory with the tracker on *attach*, not
+    just create — under spawn the attaching worker's own tracker would
+    then unlink the segment when the worker exits, and under fork the
+    registration lands in the creator's tracker set where a later
+    unregister clobbers the creator's entry.  Only the creator may own
+    the segment's lifetime, so attaches are never tracked: natively
+    (``track=False``, 3.13+) or by suppressing the registration call.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pre-3.13: no ``track`` parameter
+        pass
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def attach(name: str) -> object:
+    """Materialize the artifact published under segment ``name``.
+
+    The mapping is closed before returning and is never registered
+    with the ``resource_tracker`` — attaching must not shorten the
+    segment's life; only the creator unlinks.
+    """
+    global _ATTACHES
+    if shared_memory is None:
+        raise RuntimeError("multiprocessing.shared_memory unavailable")
+    segment = _open_untracked(name)
+    try:
+        buf = segment.buf
+        try:
+            artifact = _decode(buf)
+        finally:
+            del buf
+    finally:
+        segment.close()
+    _ATTACHES += 1
+    kernel_metrics().counter("kernel.shm_attaches").inc()
+    return artifact
+
+
+def attach_count() -> int:
+    """How many artifacts this process has attached."""
+    return _ATTACHES
+
+
+def leaked_segments() -> List[str]:
+    """Kernel-artifact segments currently visible in ``/dev/shm``.
+
+    Includes *live* publications too — callers compare against
+    :meth:`ShmRegistry.published_names` or check after close.  Empty
+    on platforms without a ``/dev/shm`` filesystem.
+    """
+    root = "/dev/shm"
+    if not os.path.isdir(root):  # pragma: no cover - non-Linux
+        return []
+    return sorted(
+        entry for entry in os.listdir(root)
+        if entry.startswith(SEGMENT_PREFIX)
+    )

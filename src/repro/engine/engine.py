@@ -216,6 +216,12 @@ class ExtractionEngine:
     :class:`repro.obs.metrics.Metrics` registry the engine's counters
     live in; :meth:`stats` is a view over it, and passing a shared
     registry aggregates several engines into one exposition.
+
+    ``use_shm`` passes through to the scheduler: with the default
+    ``None``, compiled artifacts reach pool workers through a
+    :mod:`multiprocessing.shared_memory` segment workers attach by
+    name (unlinked on :meth:`close`); ``False`` forces initializer
+    pickling (see :class:`repro.engine.scheduler.Scheduler`).
     """
 
     def __init__(
@@ -231,6 +237,7 @@ class ExtractionEngine:
         prefilter: Optional[bool] = None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[Metrics] = None,
+        use_shm: Optional[bool] = None,
     ) -> None:
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics if metrics is not None else Metrics()
@@ -238,7 +245,8 @@ class ExtractionEngine:
                                tracer=self.tracer)
         self.scheduler = Scheduler(workers=workers, batch_size=batch_size,
                                    tracer=self.tracer,
-                                   metrics=self.metrics)
+                                   metrics=self.metrics,
+                                   use_shm=use_shm)
         self.plan_cache = plan_cache if plan_cache is not None else PlanCache()
         self.chunk_cache = (chunk_cache if chunk_cache is not None
                             else ChunkCache(chunk_cache_limit))
@@ -558,8 +566,9 @@ class ExtractionEngine:
     def close(self) -> None:
         """Shut down the scheduler's worker pool (idempotent).
 
-        Caches survive ``close``; only the process pool is released.
-        Engines are also usable as context managers.
+        Caches survive ``close``; the process pool and any published
+        shared-memory artifact segment are released.  Engines are
+        also usable as context managers.
         """
         self.scheduler.close()
 

@@ -34,9 +34,12 @@ from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.executor import (
     SpannerLike,
     _evaluate_text_traced,
+    _evaluate_texts_batch,
     _init_worker,
+    _init_worker_shm,
+    _init_worker_shm_traced,
     _init_worker_traced,
-    evaluate_texts_parallel,
+    _worker_shm_status,
 )
 
 from repro.engine.cache import ChunkCache
@@ -69,11 +72,21 @@ class Scheduler:
     feeds the chunk-latency histogram; when the tracer is enabled,
     pool workers collect spans/metrics locally and this side merges
     them back (see the module docstring).
+
+    ``use_shm`` controls artifact shipping to pool workers: by default
+    (``None``) the runner is published once into a
+    :mod:`multiprocessing.shared_memory` segment
+    (:mod:`repro.automata.shm`) and workers attach by name in their
+    initializer — no per-worker artifact pickling; ``False`` forces
+    the legacy initializer-pickling path.  Published segments are
+    unlinked in :meth:`close` (and by the shm registry's ``atexit``
+    sweep if a crash skips it).
     """
 
     def __init__(self, workers: int = 0, batch_size: int = 32,
                  tracer: Optional[Tracer] = None,
-                 metrics: Optional[Metrics] = None) -> None:
+                 metrics: Optional[Metrics] = None,
+                 use_shm: Optional[bool] = None) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
         if batch_size < 1:
@@ -82,10 +95,15 @@ class Scheduler:
         self.batch_size = batch_size
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = metrics
+        #: ``None`` = publish runners into shared memory whenever the
+        #: platform supports it; ``False`` pins initializer pickling
+        #: (``True`` insists, still falling back if publication fails).
+        self.use_shm = use_shm
         self.last_batch: ScheduledBatch = ScheduledBatch(0, 0, 0)
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._pool_runner: Optional[SpannerLike] = None
         self._pool_traced = False
+        self._shm_artifact = None
 
     # ------------------------------------------------------------------
 
@@ -102,23 +120,75 @@ class Scheduler:
                 and self._pool_traced == traced):
             return self._pool
         self.close()
+        segment = self._publish_shm(runner)
+        if segment is not None:
+            initializer = (_init_worker_shm_traced if traced
+                           else _init_worker_shm)
+            initargs: Tuple = (segment.name,)
+        else:
+            initializer = _init_worker_traced if traced else _init_worker
+            initargs = (runner,)
         self._pool = multiprocessing.Pool(
             processes=self.workers,
-            initializer=_init_worker_traced if traced else _init_worker,
-            initargs=(runner,),
+            initializer=initializer,
+            initargs=initargs,
         )
         self._pool_runner = runner
         self._pool_traced = traced
         return self._pool
 
+    def _publish_shm(self, runner: SpannerLike):
+        """Publish ``runner`` for worker attach, if shm is in play.
+
+        Returns the published segment handle or ``None`` (shm off,
+        unavailable, or publication failed — e.g. an unpicklable
+        black-box runner); ``None`` sends the runner through the
+        legacy initializer-pickling path instead.  The segment lives
+        exactly as long as the pool: :meth:`close` unlinks it.
+        """
+        from repro.automata import shm
+
+        if self.use_shm is False or not shm.available():
+            return None
+        try:
+            self._shm_artifact = shm.registry().publish(runner)
+        except Exception:
+            self._shm_artifact = None
+        return self._shm_artifact
+
+    def shm_segment_name(self) -> Optional[str]:
+        """Name of the live published segment, if any."""
+        artifact = self._shm_artifact
+        return artifact.name if artifact is not None else None
+
+    def worker_shm_status(self) -> List[Tuple[int, int]]:
+        """Probe live pool workers: ``(pid, attach count)`` samples.
+
+        Several probe tasks per worker, so with high probability every
+        worker reports; the lifecycle tests assert each sampled worker
+        attached (count >= 1) instead of unpickling artifacts.
+        """
+        if self._pool is None:
+            return []
+        return self._pool.map(
+            _worker_shm_status, range(max(1, self.workers) * 4)
+        )
+
     def close(self) -> None:
-        """Shut down the worker pool (idempotent)."""
+        """Shut down the worker pool and unlink its shm segment
+        (idempotent — the unlink happens even if the pool already died
+        or was force-terminated)."""
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
             self._pool_runner = None
             self._pool_traced = False
+        if self._shm_artifact is not None:
+            from repro.automata import shm
+
+            shm.registry().unlink(self._shm_artifact.name)
+            self._shm_artifact = None
 
     def __del__(self) -> None:  # best-effort cleanup
         try:
@@ -139,11 +209,26 @@ class Scheduler:
             if self._pool_traced:
                 return self._evaluate_missing_traced(pool, texts,
                                                      chunksize)
-            return evaluate_texts_parallel(
-                runner, texts, chunksize=chunksize, pool=pool,
-            )
-        if self.metrics is not None:
-            latency = self.metrics.histogram("engine.chunk_eval_seconds")
+            # Ship whole batches as single tasks: one dispatch and one
+            # result pickle per ``chunksize`` texts, and batch-capable
+            # runners sweep each batch through their tables in one
+            # call (:func:`repro.runtime.executor._evaluate_texts_batch`).
+            batches = [
+                texts[start:start + chunksize]
+                for start in range(0, len(texts), chunksize)
+            ]
+            results: List[Set[SpanTuple]] = []
+            for group in pool.imap(_evaluate_texts_batch, batches):
+                results.extend(group)
+            return results
+        latency = (self.metrics.histogram("engine.chunk_eval_seconds")
+                   if self.metrics is not None else None)
+        batch = getattr(runner, "evaluate_batch", None)
+        if batch is not None:
+            # Kernel batch entry: per-chunk latency observed inside the
+            # sweep, no second dispatch layer.
+            return batch(texts, latency)
+        if latency is not None:
             results = []
             for text in texts:
                 started = time.perf_counter()

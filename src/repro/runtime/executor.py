@@ -91,8 +91,45 @@ def _init_worker(spanner: SpannerLike) -> None:
     _WORKER_SPANNER = spanner
 
 
+def _init_worker_shm(segment_name: str) -> None:
+    """Pool initializer: attach the chunk runner from shared memory.
+
+    The worker receives a segment *name* instead of a pickled artifact
+    (see :mod:`repro.automata.shm`); table buffers come out of the
+    mapped segment, and the attachment is counted so
+    :func:`_worker_shm_status` can prove no artifact unpickling
+    happened on this path.
+    """
+    global _WORKER_SPANNER
+    from repro.automata import shm
+
+    _WORKER_SPANNER = shm.attach(segment_name)
+
+
+def _worker_shm_status(_task: object = None) -> Tuple[int, int]:
+    """Probe task: ``(pid, shm attaches in this worker process)``."""
+    from repro.automata import shm
+
+    return os.getpid(), shm.attach_count()
+
+
 def _evaluate_text(text: str) -> Set[SpanTuple]:
     return set(_WORKER_SPANNER.evaluate(text))
+
+
+def _evaluate_texts_batch(texts: Sequence[str]) -> List[Set[SpanTuple]]:
+    """One pool task evaluating a whole batch of chunk texts.
+
+    Runners exposing ``evaluate_batch`` (compiled kernel artifacts)
+    sweep the batch through their tables in a single call; others are
+    looped over here — either way the pool pays one task dispatch and
+    one result pickle per batch instead of per chunk.
+    """
+    spanner = _WORKER_SPANNER
+    batch = getattr(spanner, "evaluate_batch", None)
+    if batch is not None:
+        return batch(texts)
+    return [set(spanner.evaluate(text)) for text in texts]
 
 
 def _init_worker_traced(spanner: SpannerLike) -> None:
@@ -102,6 +139,16 @@ def _init_worker_traced(spanner: SpannerLike) -> None:
 
     global _WORKER_TRACER, _WORKER_METRICS
     _init_worker(spanner)
+    _WORKER_TRACER = Tracer()
+    _WORKER_METRICS = Metrics()
+
+
+def _init_worker_shm_traced(segment_name: str) -> None:
+    """Traced variant of :func:`_init_worker_shm`."""
+    from repro.obs import Metrics, Tracer
+
+    global _WORKER_TRACER, _WORKER_METRICS
+    _init_worker_shm(segment_name)
     _WORKER_TRACER = Tracer()
     _WORKER_METRICS = Metrics()
 
@@ -155,11 +202,30 @@ def evaluate_texts_parallel(
     runner = as_runner(spanner)
     if workers <= 1:
         return [set(runner.evaluate(text)) for text in texts]
-    with multiprocessing.Pool(
-        processes=workers, initializer=_init_worker, initargs=(runner,)
-    ) as created:
-        return list(created.imap(_evaluate_text, texts,
-                                 chunksize=chunksize))
+    # Publish the runner into shared memory for the pool's lifetime
+    # when the platform supports it (workers attach by name); the
+    # initializer falls back to pickling the runner otherwise.
+    from repro.automata import shm
+
+    segment = None
+    if shm.available():
+        try:
+            segment = shm.registry().publish(runner)
+        except Exception:
+            segment = None
+    try:
+        if segment is not None:
+            initializer, initargs = _init_worker_shm, (segment.name,)
+        else:
+            initializer, initargs = _init_worker, (runner,)
+        with multiprocessing.Pool(
+            processes=workers, initializer=initializer, initargs=initargs
+        ) as created:
+            return list(created.imap(_evaluate_text, texts,
+                                     chunksize=chunksize))
+    finally:
+        if segment is not None:
+            shm.registry().unlink(segment.name)
 
 
 def split_by_parallel(

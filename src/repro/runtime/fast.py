@@ -205,6 +205,24 @@ class CompiledSpanner:
         self.specification.check_document(document)
         return self._kernel.evaluate(document)
 
+    def evaluate_batch(self, documents, latency=None) -> List[Set[SpanTuple]]:
+        """Evaluate many chunk texts through the kernel in one call.
+
+        The batch entry the scheduler (and pool workers) feed whole
+        missing-chunk batches into; ``latency`` is an optional
+        histogram observing per-document kernel seconds.
+        """
+        check = self.specification.check_document
+        for document in documents:
+            check(document)
+        return self._kernel.evaluate_batch(documents, latency)
+
+    @property
+    def kernel_tier(self) -> str:
+        """Which kernel tier evaluates chunks (``"v2-bytes"`` byte
+        tables / ``"v1-int"`` integer bitsets)."""
+        return self._kernel.kernel_tier
+
     def __repr__(self) -> str:
         return f"CompiledSpanner({self.specification!r})"
 

@@ -144,6 +144,13 @@ class CertifiedPlan:
         """
         plan = self.plan
         runner = plan.compiled_runner
+        kernel_tier = getattr(runner, "kernel_tier", None)
+        if kernel_tier is None and self.specification is not None:
+            # Self-splittable and whole-document plans run the program
+            # itself on chunks; report its artifact's tier when it has
+            # already been lowered (never force a lowering here).
+            artifact = getattr(self.specification, "_compiled", None)
+            kernel_tier = getattr(artifact, "kernel_tier", None)
         return {
             "mode": plan.mode,
             "splitter": self.splitter_name,
@@ -155,6 +162,7 @@ class CertifiedPlan:
             "procedure": plan.procedure,
             "compiled_artifact": (f"kernel-{id(runner):x}"
                                   if runner is not None else None),
+            "kernel_tier": kernel_tier,
             "certification_seconds": self.certification_seconds,
             "certificate": self.fingerprint,
             "reuses": self.reuses,

@@ -16,7 +16,13 @@ import pickle
 
 from hypothesis import given, settings, strategies as st
 
-from repro.automata.compiled import LazyDFA, bits, compile_nfa
+from repro.automata.compiled import (
+    MAX_BYTE_ROWS,
+    LazyDFA,
+    bits,
+    compile_nfa,
+    compile_vset_automaton,
+)
 from repro.automata.nfa import EPSILON, NFA
 from repro.spanners.refwords import Close, Open, gamma
 from repro.spanners.vset_automaton import VSetAutomaton
@@ -282,6 +288,129 @@ def test_variable_order_cached_and_stable():
     variables, index = first
     assert variables == ("x",)
     assert index == {"x": 0}
+
+
+# ----------------------------------------------------------------------
+# Kernel v2: byte-table tiers
+# ----------------------------------------------------------------------
+
+#: Documents mixing the test alphabet with latin-1-but-out-of-alphabet
+#: bytes, non-latin-1 BMP characters, and astral characters — the byte
+#: tier must dispatch (or fall back) per document and stay identical
+#: to the integer tier on every one of them.
+MIXED_DOCS = st.text(
+    alphabet="ab .é\xffĀ日\U0001F600", max_size=8
+)
+
+
+@settings(**SETTINGS)
+@given(random_nfas(), st.lists(MIXED_DOCS, max_size=6))
+def test_accept_tiers_agree(nfa, documents):
+    compiled = nfa.compiled()
+    words = list(documents) + words_upto(ALPHABET, 4)
+    for word in words:
+        assert compiled.accepts(word) == compiled.accepts_v1(word)
+    assert compiled.accepts_batch(words) == [
+        compiled.accepts_v1(word) for word in words
+    ]
+
+
+@settings(**SETTINGS)
+@given(random_vset_automata(), st.lists(MIXED_DOCS, max_size=6))
+def test_suffix_and_evaluate_tiers_agree(vsa, documents):
+    v2 = compile_vset_automaton(vsa, byte_tables=True)
+    v1 = compile_vset_automaton(vsa, byte_tables=False)
+    assert v1.kernel_tier == "v1-int"
+    for document in list(documents) + words_upto("ab", 3):
+        tables = v2.suffix_acceptance(document)
+        assert tables == v1.suffix_acceptance_int(document)
+        assert tables == v1.suffix_acceptance_v1(document)
+        assert v2.evaluate(document) == v1.evaluate(document)
+    assert v2.evaluate_batch(documents) == [
+        v1.evaluate(document) for document in documents
+    ]
+
+
+@settings(**SETTINGS)
+@given(random_vset_automata())
+def test_byte_tier_matches_interpreted(vsa):
+    compiled = compile_vset_automaton(vsa, byte_tables=True)
+    for document in words_upto("ab", 3):
+        assert compiled.evaluate(document) == \
+            vsa.evaluate_interpreted(document)
+
+
+def test_wide_alphabet_reports_v1_tier():
+    # Non-latin-1 letters admit no byte lowering at all; results must
+    # come from (and the tier must honestly report) the int path.
+    nfa = NFA("ΑΒ", range(2), 0, [1],
+              [(0, "Α", 1), (1, "Β", 0)])
+    compiled = nfa.compiled()
+    assert compiled.byte_dfa() is None
+    assert compiled.kernel_tier == "v1-int"
+    assert compiled.accepts("Α")
+    assert not compiled.accepts("Β")
+    assert compiled.accepts_batch(["Α", "ΑΒΑ", ""]) \
+        == [True, True, False]
+
+
+def test_byte_row_cap_falls_back_to_v1():
+    # (a|b)* a (a|b)^9 needs 2^9 forward subset states — past the
+    # 256-row cap, so the byte lowering must abandon ship while the
+    # lazy-DFA path keeps answering exactly.
+    k = 9
+    transitions = [(0, "a", 0), (0, "b", 0), (0, "a", 1)]
+    for i in range(1, k + 1):
+        transitions += [(i, "a", i + 1), (i, "b", i + 1)]
+    nfa = NFA(ALPHABET, range(k + 2), 0, [k + 1], transitions)
+    compiled = nfa.compiled()
+    assert compiled.byte_dfa() is None
+    assert compiled.kernel_tier == "v1-int"
+    assert compiled.accepts("a" + "b" * k)
+    assert not compiled.accepts("b" * (k + 1))
+
+
+def test_byte_dfa_has_bounded_rows():
+    nfa = NFA(ALPHABET, range(2), 0, [1], [(0, "a", 1), (1, "b", 0)])
+    dfa = nfa.compiled().byte_dfa()
+    assert dfa is not None
+    assert 1 <= dfa.n_rows <= MAX_BYTE_ROWS
+    assert len(dfa.blob) == dfa.n_rows * 256
+    # Row 0 is the dead sink: all-zero, non-accepting, self-looping.
+    assert set(dfa.rows[0]) == {0}
+    assert dfa.flags[0] == 0
+
+
+def test_byte_artifacts_pickle_across_protocols():
+    nfa = NFA(ALPHABET, range(3), 0, [2],
+              [(0, "a", 1), (1, EPSILON, 2), (2, "b", 0)])
+    compiled = nfa.compiled()
+    assert compiled.kernel_tier == "v2-bytes"
+    for protocol in (2, 4, 5):
+        clone = pickle.loads(pickle.dumps(compiled, protocol=protocol))
+        assert clone.kernel_tier == "v2-bytes"
+        for word in words_upto(ALPHABET, 4):
+            assert clone.accepts(word) == nfa.accepts_interpreted(word)
+
+
+def test_non_string_documents_use_int_tier():
+    # Sequences of symbols (not str) cannot be byte-encoded; the
+    # dispatching entry points must agree with the int tier on them.
+    x_open, x_close = Open("x"), Close("x")
+    nfa = NFA(
+        frozenset("ab") | gamma({"x"}),
+        range(3),
+        0,
+        [2],
+        [(0, x_open, 1), (1, "a", 1), (1, "b", 1), (1, x_close, 2)],
+    )
+    vsa = VSetAutomaton("ab", {"x"}, nfa)
+    compiled = compile_vset_automaton(vsa)
+    for document in words_upto("ab", 3):
+        as_list = list(document)
+        assert compiled.suffix_acceptance(as_list) == \
+            compiled.suffix_acceptance(document)
+        assert compiled.evaluate(as_list) == compiled.evaluate(document)
 
 
 def test_vsa_compiled_tracks_nfa_mutation():
