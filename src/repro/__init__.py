@@ -32,8 +32,11 @@ paper-to-module map and EXPERIMENTS.md for the reproduced results.
 
 from repro.errors import (
     CertificationError,
+    DeadlineExceededError,
     NotFunctionalError,
     ReproError,
+    ServiceClosedError,
+    ServiceOverloadedError,
     UnknownSplitterError,
 )
 from repro.query import Q, Query, ResultSet, Spanner, Splitter
@@ -97,12 +100,13 @@ from repro.runtime import (
     split_by,
     split_by_parallel,
 )
-from repro.engine import Corpus, Document, ExtractionEngine, Program
+from repro.engine import Corpus, Deadline, Document, ExtractionEngine, Program
 from repro.index import CorpusIndex, FactorSet, IndexFilter, factors_of
 from repro.obs import Metrics, Tracer, kernel_metrics
 from repro.runtime import RegisteredSplitter
+from repro.serve import ExtractionService, ServiceResult, serve_http
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # The fluent query API (the documented front door).
@@ -116,12 +120,20 @@ __all__ = [
     "NotFunctionalError",
     "CertificationError",
     "UnknownSplitterError",
+    "DeadlineExceededError",
+    "ServiceOverloadedError",
+    "ServiceClosedError",
     # Corpus engine.
     "Corpus",
+    "Deadline",
     "Document",
     "ExtractionEngine",
     "Program",
     "RegisteredSplitter",
+    # Resident serving layer (repro.serve).
+    "ExtractionService",
+    "ServiceResult",
+    "serve_http",
     # Corpus index subsystem (literal/trigram prefiltering).
     "CorpusIndex",
     "FactorSet",

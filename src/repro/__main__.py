@@ -30,6 +30,18 @@ cannot match::
         --file corpus.txt --output corpus.idx
     python -m repro engine --pattern '...' --alphabet 'ab .' \
         --file corpus.txt --index corpus.idx
+
+The resident serving layer (:mod:`repro.serve`) is the fourth
+subcommand: one engine stays hot behind a bounded admission queue and
+an HTTP/JSON endpoint, with per-query deadlines and per-tenant
+metrics::
+
+    python -m repro serve --pattern '...' --alphabet 'ab .' \
+        --splitters tokens --workers 4 --port 8080
+
+``POST /extract`` runs queries (``429`` when the queue is full,
+``504`` on a missed deadline), ``GET /metrics`` exposes the tenant-
+labeled Prometheus registries, ``GET /healthz`` reports liveness.
 """
 
 from __future__ import annotations
@@ -209,6 +221,50 @@ def engine_command(args) -> int:
     return 0
 
 
+def serve_command(args) -> int:
+    """Start the resident extraction service with its HTTP endpoint.
+
+    The service keeps one engine hot (plan cache, chunk cache, pool,
+    optional index) across every request; per-request patterns share
+    that engine's plan cache through the query factory, so repeated
+    patterns certify once for the server's lifetime.
+    """
+    from repro.engine.engine import Program
+    from repro.serve import serve_http
+
+    try:
+        query = _build_query(args)
+        service = query.serve(
+            max_queue=args.max_queue,
+            default_deadline=(args.default_deadline_ms / 1000.0
+                              if args.default_deadline_ms else None),
+        )
+    except (ReproError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    default_alphabet = frozenset(args.alphabet)
+
+    def query_factory(pattern: str, alphabet) -> Program:
+        spanner = Spanner.regex(
+            pattern,
+            frozenset(alphabet) if alphabet else default_alphabet,
+        )
+        return Program.from_query(spanner)
+
+    def ready(bound) -> None:
+        host, port = bound
+        print(f"serving on http://{host}:{port} "
+              f"(pattern {args.pattern!r}, splitters {args.splitters}, "
+              f"workers {args.workers}, max_queue {args.max_queue})",
+              flush=True)
+
+    with service:
+        serve_http(service, host=args.host, port=args.port,
+                   query_factory=query_factory, ready=ready)
+    return 0
+
+
 def index_command(args) -> int:
     """Build (and optionally persist) a corpus index over chunks."""
     from repro.index import CorpusIndex
@@ -317,6 +373,45 @@ def main(argv=None) -> int:
         help="print Prometheus metrics (engine + compiled kernel) "
              "after the run",
     )
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the resident extraction service "
+                      "(repro.serve HTTP/JSON endpoint)"
+    )
+    serve_parser.add_argument("--pattern", required=True,
+                              help="default regex formula served")
+    serve_parser.add_argument("--alphabet", required=True,
+                              help="document alphabet, e.g. 'ab .'")
+    serve_parser.add_argument(
+        "--splitters", default="tokens,sentences",
+        help=f"comma list registered with the planner: {known}",
+    )
+    serve_parser.add_argument(
+        "--method", default="general",
+        choices=["auto", "fast", "general"],
+        help="certification procedure selection",
+    )
+    serve_parser.add_argument("--workers", type=int, default=0,
+                              help="process-pool size (0 = in-process)")
+    serve_parser.add_argument("--batch-size", type=int, default=32,
+                              help="chunk/document batch size")
+    serve_parser.add_argument(
+        "--index", default=None, metavar="PATH",
+        help="corpus index file built by `repro index` (enables "
+             "chunk prefiltering from its posting lists)",
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address")
+    serve_parser.add_argument("--port", type=int, default=8080,
+                              help="bind port (0 = ephemeral)")
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admission-queue bound (beyond it, requests get 429)",
+    )
+    serve_parser.add_argument(
+        "--default-deadline-ms", type=float, default=None,
+        help="deadline applied to requests without their own "
+             "(missed deadlines get 504)",
+    )
     index_parser = subparsers.add_parser(
         "index", help="build a persistent corpus index (repro.index)"
     )
@@ -339,6 +434,8 @@ def main(argv=None) -> int:
         return analyze(args)
     if args.command == "engine":
         return engine_command(args)
+    if args.command == "serve":
+        return serve_command(args)
     if args.command == "index":
         return index_command(args)
     return 1

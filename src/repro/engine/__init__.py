@@ -38,6 +38,7 @@ from repro.engine.cache import (
     registry_fingerprint,
 )
 from repro.engine.corpus import Corpus, Document, shard_of
+from repro.engine.deadline import Deadline, as_deadline
 from repro.engine.engine import EngineResult, ExtractionEngine, Program
 from repro.engine.scheduler import ScheduledBatch, Scheduler
 from repro.engine.stats import EngineStats
@@ -45,6 +46,7 @@ from repro.engine.stats import EngineStats
 __all__ = [
     "ChunkCache",
     "Corpus",
+    "Deadline",
     "Document",
     "EngineResult",
     "EngineStats",
@@ -53,6 +55,7 @@ __all__ = [
     "Program",
     "ScheduledBatch",
     "Scheduler",
+    "as_deadline",
     "fingerprint",
     "registry_fingerprint",
     "shard_of",

@@ -80,6 +80,35 @@ def _canonical_automaton(automaton: VSetAutomaton) -> str:
     ))
 
 
+def _canonical_value(value: object) -> str:
+    """A container-order-insensitive serialization of an attribute.
+
+    ``repr`` alone is unstable exactly where Python containers are:
+    ``dict`` preserves insertion order and ``frozenset``/``set`` repr
+    in iteration order, so two structurally identical programs built
+    in different orders would describe (and fingerprint) differently —
+    silently duplicating certification.  Dicts serialize by sorted
+    key, sets by sorted element; tuples and lists keep their
+    (meaningful) order with elements canonicalized recursively.
+    """
+    if isinstance(value, dict):
+        items = sorted(
+            (_canonical_value(key), _canonical_value(item))
+            for key, item in value.items()
+        )
+        return "dict{" + ",".join(f"{k}:{v}" for k, v in items) + "}"
+    if isinstance(value, (frozenset, set)):
+        return ("set{" + ",".join(sorted(_canonical_value(item)
+                                         for item in value)) + "}")
+    if isinstance(value, tuple):
+        return ("tuple(" + ",".join(_canonical_value(item)
+                                    for item in value) + ")")
+    if isinstance(value, list):
+        return ("list[" + ",".join(_canonical_value(item)
+                                   for item in value) + "]")
+    return repr(value)
+
+
 def _describe(program: object) -> str:
     """A stable structural description of a spanner or splitter."""
     if isinstance(program, VSetAutomaton):
@@ -91,10 +120,10 @@ def _describe(program: object) -> str:
     if pattern is not None and hasattr(pattern, "pattern"):
         return f"regex:{type(program).__name__}:{pattern.pattern}"
     attributes = sorted(
-        (name, repr(value))
+        (name, _canonical_value(value))
         for name, value in vars(program).items()
         if isinstance(value, (str, int, float, bool, bytes, frozenset,
-                              tuple, list, dict))
+                              set, tuple, list, dict))
     )
     # Objects whose behavior lives in attributes not captured above
     # (callables, nested objects) should expose their own

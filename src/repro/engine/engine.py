@@ -50,6 +50,7 @@ from repro.engine.cache import (
     registry_fingerprint,
 )
 from repro.engine.corpus import Corpus, Document
+from repro.engine.deadline import NEVER, Deadline, as_deadline
 from repro.engine.scheduler import Scheduler
 from repro.engine.stats import EngineStats
 
@@ -445,7 +446,8 @@ class ExtractionEngine:
     # ------------------------------------------------------------------
 
     def _iter_certified(
-        self, corpus: Corpus, program: Program, certified: CertifiedPlan
+        self, corpus: Corpus, program: Program, certified: CertifiedPlan,
+        deadline: Deadline = NEVER,
     ) -> Iterator[Tuple[str, Set[SpanTuple]]]:
         """Yield ``(doc_id, tuples)`` batch by batch under a certificate.
 
@@ -453,6 +455,13 @@ class ExtractionEngine:
         scheduler pass per document batch, counters updated as each
         batch completes, results yielded per document in corpus order —
         nothing downstream of the current batch is computed yet.
+
+        ``deadline`` is the cooperative cancellation point: it is
+        checked at every batch boundary (and between evaluation batches
+        inside :meth:`repro.engine.scheduler.Scheduler.run`), raising
+        :class:`repro.errors.DeadlineExceededError` without disturbing
+        the pool, the caches, or any published shm segment — the
+        engine stays fully usable for subsequent queries.
         """
         runner = self.runner_for(certified, program)
         prefilter = self._prefilter_for(certified)
@@ -463,6 +472,7 @@ class ExtractionEngine:
         cache = self.chunk_cache
         tracer = self.tracer
         for batch in corpus.batches(max(1, self.scheduler.batch_size)):
+            deadline.check()
             start = time.perf_counter()
             cache_before = (cache.hits, cache.misses, cache.evictions)
             tasks = []
@@ -488,7 +498,7 @@ class ExtractionEngine:
                 span.set("pruned", pruned_batch)
             with tracer.span("schedule", documents=len(batch)):
                 resolved = self.scheduler.run(runner, tasks, cache,
-                                              chunk_namespace)
+                                              chunk_namespace, deadline)
             self._chunk_hits.inc(cache.hits - cache_before[0])
             self._chunk_misses.inc(cache.misses - cache_before[1])
             self._chunk_evictions.inc(cache.evictions - cache_before[2])
@@ -503,14 +513,22 @@ class ExtractionEngine:
         self,
         corpus: CorpusLike,
         program: ProgramLike,
+        deadline: object = None,
     ) -> EngineResult:
-        """Extract ``program`` over ``corpus``; results per document."""
+        """Extract ``program`` over ``corpus``; results per document.
+
+        ``deadline`` (a :class:`repro.engine.deadline.Deadline`,
+        seconds, or ``None``) bounds the run: past it, the next batch
+        boundary raises :class:`repro.errors.DeadlineExceededError`.
+        Partial work stays cached; the engine remains usable.
+        """
         corpus = _as_corpus(corpus)
         program = _as_program(program)
         before = self.stats()
         certified = self.certify(program)
         by_document: Dict[str, Set[SpanTuple]] = dict(
-            self._iter_certified(corpus, program, certified)
+            self._iter_certified(corpus, program, certified,
+                                 as_deadline(deadline))
         )
         return EngineResult(by_document, certified,
                             self.stats().since(before))
@@ -519,6 +537,7 @@ class ExtractionEngine:
         self,
         corpus: CorpusLike,
         program: ProgramLike,
+        deadline: object = None,
     ) -> Iterator[Tuple[str, Set[SpanTuple]]]:
         """Extract lazily: yield ``(doc_id, tuples)`` per document.
 
@@ -527,12 +546,14 @@ class ExtractionEngine:
         pays for the batches that prefix spans — the streaming
         primitive under :meth:`repro.query.ResultSet.stream`.
         Certification still happens exactly once — up front, through
-        the plan cache, when the iterator is created.
+        the plan cache, when the iterator is created.  ``deadline``
+        bounds consumption like :meth:`run`.
         """
         corpus = _as_corpus(corpus)
         program = _as_program(program)
         certified = self.certify(program)
-        return self._iter_certified(corpus, program, certified)
+        return self._iter_certified(corpus, program, certified,
+                                    as_deadline(deadline))
 
     def run_sharded(
         self,

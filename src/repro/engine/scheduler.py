@@ -35,12 +35,15 @@ from repro.runtime.executor import (
     SpannerLike,
     _evaluate_text_traced,
     _evaluate_texts_batch,
+    _evaluate_texts_batch_metered,
     _init_worker,
     _init_worker_shm,
     _init_worker_shm_traced,
     _init_worker_traced,
     _worker_shm_status,
 )
+
+from repro.engine.deadline import NEVER, Deadline
 
 from repro.engine.cache import ChunkCache
 
@@ -72,6 +75,11 @@ class Scheduler:
     feeds the chunk-latency histogram; when the tracer is enabled,
     pool workers collect spans/metrics locally and this side merges
     them back (see the module docstring).
+
+    The pool persists across batches and runs; swapping to a different
+    runner (or tracing mode) *drains* the old pool gracefully —
+    ``Pool.close()``/``join()``, so in-flight tasks finish — while
+    :meth:`close` is the hard shutdown that ``terminate()``\\ s workers.
 
     ``use_shm`` controls artifact shipping to pool workers: by default
     (``None``) the runner is published once into a
@@ -114,12 +122,20 @@ class Scheduler:
         runner object — and the tracing mode, which selects the worker
         initializer — is the same, so one corpus run pays pool startup
         and spanner shipping once, not once per batch.
+
+        Swapping to a different runner **drains** the old pool
+        gracefully (``Pool.close()``/``join()``) rather than
+        terminating it: tasks still in flight — e.g. batches abandoned
+        by a deadline-cancelled query, or a concurrent stream's pending
+        pass — run to completion before the new pool starts, so a swap
+        can never kill work another consumer is waiting on.
+        ``terminate()`` is reserved for hard shutdown (:meth:`close`).
         """
         traced = self.tracer.enabled
         if (self._pool is not None and self._pool_runner is runner
                 and self._pool_traced == traced):
             return self._pool
-        self.close()
+        self._retire_pool()
         segment = self._publish_shm(runner)
         if segment is not None:
             initializer = (_init_worker_shm_traced if traced
@@ -174,21 +190,47 @@ class Scheduler:
             _worker_shm_status, range(max(1, self.workers) * 4)
         )
 
+    def _retire_pool(self) -> None:
+        """Gracefully drain and discard the current pool (runner swap).
+
+        ``Pool.close()`` stops new task submission, ``join()`` waits
+        for everything already submitted — in-flight batches finish
+        instead of being killed mid-chunk the way :meth:`close`'s
+        ``terminate()`` would kill them.  The shm segment outlives the
+        workers by construction (unlinked only after ``join()``), so a
+        draining worker can never lose its mapped artifact.
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+            self._pool_runner = None
+            self._pool_traced = False
+        self._unlink_shm()
+
+    def _unlink_shm(self) -> None:
+        if self._shm_artifact is not None:
+            from repro.automata import shm
+
+            shm.registry().unlink(self._shm_artifact.name)
+            self._shm_artifact = None
+
     def close(self) -> None:
-        """Shut down the worker pool and unlink its shm segment
+        """Hard-stop the worker pool and unlink its shm segment
         (idempotent — the unlink happens even if the pool already died
-        or was force-terminated)."""
+        or was force-terminated).
+
+        This is the *shutdown* path and uses ``Pool.terminate()``:
+        in-flight tasks are killed.  Runner swaps mid-run go through
+        the graceful :meth:`_retire_pool` drain instead.
+        """
         if self._pool is not None:
             self._pool.terminate()
             self._pool.join()
             self._pool = None
             self._pool_runner = None
             self._pool_traced = False
-        if self._shm_artifact is not None:
-            from repro.automata import shm
-
-            shm.registry().unlink(self._shm_artifact.name)
-            self._shm_artifact = None
+        self._unlink_shm()
 
     def __del__(self) -> None:  # best-effort cleanup
         try:
@@ -200,6 +242,7 @@ class Scheduler:
         self,
         runner: SpannerLike,
         texts: Sequence[str],
+        deadline: Deadline = NEVER,
     ) -> List[Set[SpanTuple]]:
         if self.workers > 1 and texts:
             # Aim for several waves per worker (load balance for skewed
@@ -208,7 +251,7 @@ class Scheduler:
             pool = self._pool_for(runner)
             if self._pool_traced:
                 return self._evaluate_missing_traced(pool, texts,
-                                                     chunksize)
+                                                     chunksize, deadline)
             # Ship whole batches as single tasks: one dispatch and one
             # result pickle per ``chunksize`` texts, and batch-capable
             # runners sweep each batch through their tables in one
@@ -218,11 +261,25 @@ class Scheduler:
                 for start in range(0, len(texts), chunksize)
             ]
             results: List[Set[SpanTuple]] = []
+            if self.metrics is not None:
+                # Metered batch tasks time each chunk worker-side and
+                # ship the delta back, so ``engine.chunk_eval_seconds``
+                # is populated on this path too — not only when
+                # tracing is on or the run is in-process.
+                for group, delta in pool.imap(
+                    _evaluate_texts_batch_metered, batches
+                ):
+                    results.extend(group)
+                    self.metrics.merge(delta)
+                    deadline.check()
+                return results
             for group in pool.imap(_evaluate_texts_batch, batches):
                 results.extend(group)
+                deadline.check()
             return results
         latency = (self.metrics.histogram("engine.chunk_eval_seconds")
                    if self.metrics is not None else None)
+        deadline.check()
         batch = getattr(runner, "evaluate_batch", None)
         if batch is not None:
             # Kernel batch entry: per-chunk latency observed inside the
@@ -231,17 +288,23 @@ class Scheduler:
         if latency is not None:
             results = []
             for text in texts:
+                deadline.check()
                 started = time.perf_counter()
                 results.append(set(runner.evaluate(text)))
                 latency.observe(time.perf_counter() - started)
             return results
-        return [set(runner.evaluate(text)) for text in texts]
+        results = []
+        for text in texts:
+            deadline.check()
+            results.append(set(runner.evaluate(text)))
+        return results
 
     def _evaluate_missing_traced(
         self,
         pool: "multiprocessing.pool.Pool",
         texts: Sequence[str],
         chunksize: int,
+        deadline: Deadline = NEVER,
     ) -> List[Set[SpanTuple]]:
         """The pool pass with worker-side collection merged back.
 
@@ -272,6 +335,7 @@ class Scheduler:
                         )
             if self.metrics is not None and delta is not None:
                 self.metrics.merge(delta)
+            deadline.check()
         return results
 
     def run(
@@ -280,6 +344,7 @@ class Scheduler:
         documents: Sequence[DocumentChunks],
         cache: ChunkCache,
         namespace: str,
+        deadline: Deadline = NEVER,
     ) -> Dict[str, Set[SpanTuple]]:
         """Evaluate every document's chunks, deduplicated via ``cache``.
 
@@ -287,7 +352,14 @@ class Scheduler:
         distinct chunk text missing from the cache is evaluated exactly
         once — even when it repeats within this batch — and stored for
         future batches and future runs.
+
+        ``deadline`` is checked cooperatively between evaluation
+        batches (never mid-chunk): an expired deadline raises
+        :class:`repro.errors.DeadlineExceededError`, results already
+        evaluated stay cached, and the pool keeps running — the next
+        ``run`` on this scheduler proceeds normally.
         """
+        deadline.check()
         # Pass 1: consult the cache; collect distinct missing texts in
         # first-seen order (deterministic scheduling).  A text repeated
         # within this batch counts as a hit from its second instance on:
@@ -313,7 +385,7 @@ class Scheduler:
             workers=self.workers if self.workers > 1 else 0,
         ):
             for text, results in zip(
-                missing, self._evaluate_missing(runner, missing)
+                missing, self._evaluate_missing(runner, missing, deadline)
             ):
                 seen[text] = cache.store(namespace, text, results)
 

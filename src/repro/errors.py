@@ -41,6 +41,52 @@ class CertificationError(ReproError, ValueError):
     """
 
 
+class DeadlineExceededError(ReproError, TimeoutError):
+    """A query ran past its deadline and was cooperatively cancelled.
+
+    Raised at batch boundaries (the engine checks between scheduler
+    passes, the scheduler between pool result batches), so a partially
+    streamed run stops promptly without killing in-flight work: chunks
+    already evaluated stay in the chunk cache and the engine remains
+    fully usable for subsequent queries.  Carries the ``elapsed`` and
+    ``budget`` seconds when the deadline knows them.  Subclasses
+    :class:`TimeoutError` so generic timeout handling catches it.
+    """
+
+    def __init__(self, message: str = "deadline exceeded",
+                 elapsed: Optional[float] = None,
+                 budget: Optional[float] = None):
+        self.elapsed = elapsed
+        self.budget = budget
+        if elapsed is not None and budget is not None:
+            message += f" ({elapsed:.3f}s elapsed of {budget:.3f}s budget)"
+        super().__init__(message)
+
+
+class ServiceOverloadedError(ReproError, RuntimeError):
+    """The extraction service's admission queue is full.
+
+    Raised synchronously at submission time (admission control rejects
+    explicitly instead of queueing unboundedly); carries the queue
+    ``capacity`` so callers can report back-pressure.  Retry later or
+    shed load upstream.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        super().__init__(
+            f"service admission queue full ({capacity} pending queries); "
+            f"retry later"
+        )
+
+
+class ServiceClosedError(ReproError, RuntimeError):
+    """A query was submitted to a service that has been closed."""
+
+    def __init__(self) -> None:
+        super().__init__("the extraction service is closed")
+
+
 class UnknownSplitterError(ReproError, KeyError):
     """A splitter name is not in the builder registry.
 

@@ -294,6 +294,36 @@ class Query:
         return ResultSet(engine, corpus, program, certified,
                          stats_before=stats_before)
 
+    def serve(self, max_queue: int = 64,
+              default_deadline: Optional[float] = None,
+              name: Optional[str] = None):
+        """A resident :class:`repro.serve.ExtractionService` for this
+        query: the engine this chain configured (splitters, method,
+        workers, index, tracing) becomes service-owned, with the
+        query's spanner as the default program.
+
+        The service takes ownership of the engine — submit queries
+        through the service from here on, not through this query
+        object.  ``max_queue`` bounds the admission queue
+        (:class:`repro.errors.ServiceOverloadedError` past it);
+        ``default_deadline`` (seconds) applies to submissions without
+        their own.  Start it with ``with service:`` (or implicitly on
+        first submission)::
+
+            service = Q(spanner).split_by("tokens").workers(4).serve()
+            with service:
+                result = service.extract(texts, deadline=0.5)
+        """
+        from repro.serve import ExtractionService
+
+        return ExtractionService(
+            self.engine(),
+            program=self.program(),
+            max_queue=max_queue,
+            default_deadline=default_deadline,
+            name=name or self._spanner.name or "service",
+        )
+
     def on(self, document: str) -> Set[SpanTuple]:
         """Single-document shortcut: the span tuples of ``document``."""
         results = self.over([document])

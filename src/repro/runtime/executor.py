@@ -132,6 +132,33 @@ def _evaluate_texts_batch(texts: Sequence[str]) -> List[Set[SpanTuple]]:
     return [set(spanner.evaluate(text)) for text in texts]
 
 
+def _evaluate_texts_batch_metered(texts: Sequence[str]):
+    """Like :func:`_evaluate_texts_batch`, plus worker-side timing.
+
+    Returns ``(results, metrics delta)`` where the delta carries the
+    per-chunk ``engine.chunk_eval_seconds`` histogram — the untraced
+    multiprocess path's way of populating chunk-latency metrics (the
+    traced path ships them through
+    :func:`_evaluate_text_traced` instead).  Batch-capable runners
+    observe per chunk inside their sweep via the histogram handle.
+    """
+    from repro.obs.metrics import Metrics
+
+    spanner = _WORKER_SPANNER
+    metrics = Metrics()
+    latency = metrics.histogram("engine.chunk_eval_seconds")
+    batch = getattr(spanner, "evaluate_batch", None)
+    if batch is not None:
+        results = batch(texts, latency)
+    else:
+        results = []
+        for text in texts:
+            started = time.perf_counter()
+            results.append(set(spanner.evaluate(text)))
+            latency.observe(time.perf_counter() - started)
+    return results, metrics
+
+
 def _init_worker_traced(spanner: SpannerLike) -> None:
     """Pool initializer for traced runs: ship the spanner and stand up
     the worker-local span/metric collectors."""

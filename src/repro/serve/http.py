@@ -1,0 +1,271 @@
+"""A stdlib-only HTTP/JSON endpoint over :class:`ExtractionService`.
+
+Deliberately minimal — :mod:`asyncio.start_server` plus hand-rolled
+HTTP/1.1 parsing, no third-party dependency — because the protocol
+surface is three routes:
+
+* ``POST /extract`` — body ``{"texts": [...]}`` or ``{"documents":
+  {id: text}}``, optional ``"tenant"``, ``"deadline_ms"``, and (when
+  the service allows ad-hoc programs) ``"pattern"``/``"alphabet"``.
+  Responds ``200`` with per-document span tuples, ``429`` when
+  admission control rejects, ``504`` on a missed deadline, ``400`` on
+  a malformed request.
+* ``GET /metrics`` — Prometheus text exposition (service + engine +
+  kernel registries, tenant labels included).
+* ``GET /healthz`` — liveness.
+
+Start it from Python (:func:`serve_http`) or from the CLI::
+
+    python -m repro serve --pattern '...' --alphabet 'ab .' \
+        --splitters tokens --port 8080
+
+Error mapping is part of the contract: admission and deadline errors
+arrive as typed JSON (``{"error": "overloaded" | "deadline_exceeded",
+...}``) so load-shedding clients can react without string matching.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Dict, Optional, Tuple
+
+from repro.errors import (
+    DeadlineExceededError,
+    ReproError,
+    ServiceClosedError,
+    ServiceOverloadedError,
+)
+
+from repro.serve.service import ExtractionService, ServiceResult
+
+#: Request bodies above this size are rejected with 413 (the service
+#: is an extraction endpoint, not a bulk-ingest channel).
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+def _json_response(status: int, payload: Dict[str, object],
+                   reason: str = "") -> bytes:
+    body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
+    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+               405: "Method Not Allowed", 413: "Payload Too Large",
+               429: "Too Many Requests", 500: "Internal Server Error",
+               503: "Service Unavailable", 504: "Gateway Timeout"}
+    head = (
+        f"HTTP/1.1 {status} {reason or reasons.get(status, 'OK')}\r\n"
+        f"Content-Type: application/json; charset=utf-8\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _text_response(status: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4") \
+        -> bytes:
+    body = text.encode("utf-8")
+    head = (
+        f"HTTP/1.1 {status} OK\r\n"
+        f"Content-Type: {content_type}; charset=utf-8\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    )
+    return head.encode("ascii") + body
+
+
+def _result_payload(result: ServiceResult) -> Dict[str, object]:
+    """JSON shape of a served result: tuples as ``{var: [begin, end]}``
+    per document, plus the per-query timing the service measured."""
+    documents: Dict[str, list] = {}
+    for doc_id, tuples in result.by_document.items():
+        documents[doc_id] = sorted(
+            (
+                {
+                    str(variable): [span.begin, span.end]
+                    for variable, span in sorted(
+                        span_tuple.items(), key=lambda kv: str(kv[0])
+                    )
+                }
+                for span_tuple in tuples
+            ),
+            key=lambda row: sorted(row.items()),
+        )
+    return {
+        "tenant": result.tenant,
+        "tuples": result.total_tuples,
+        "documents": documents,
+        "queue_seconds": result.queue_seconds,
+        "run_seconds": result.run_seconds,
+    }
+
+
+class ServiceHTTPServer:
+    """The asyncio endpoint bound to one :class:`ExtractionService`.
+
+    ``query_factory`` optionally maps ``(pattern, alphabet)`` from a
+    request body to an engine program, enabling ad-hoc programs over
+    the same resident engine (they share its plan cache); without it,
+    requests run the service's default program only.
+    """
+
+    def __init__(self, service: ExtractionService,
+                 query_factory=None) -> None:
+        self.service = service
+        self.query_factory = query_factory
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- request plumbing ----------------------------------------------
+
+    async def _read_request(self, reader: asyncio.StreamReader
+                            ) -> Tuple[str, str, bytes]:
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            raise ValueError("malformed request line")
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                content_length = int(value.strip())
+        if content_length > MAX_BODY_BYTES:
+            raise OverflowError("request body too large")
+        body = (await reader.readexactly(content_length)
+                if content_length else b"")
+        return method, path, body
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            response = await self._respond(reader)
+        except OverflowError:
+            response = _json_response(413, {"error": "body_too_large"})
+        except Exception as error:  # malformed request; never crash
+            response = _json_response(
+                400, {"error": "bad_request", "detail": str(error)})
+        try:
+            writer.write(response)
+            await writer.drain()
+        finally:
+            writer.close()
+
+    async def _respond(self, reader: asyncio.StreamReader) -> bytes:
+        method, path, body = await self._read_request(reader)
+        if path == "/healthz":
+            return _json_response(200, {"status": "ok"})
+        if path == "/metrics":
+            return _text_response(200, self.service.to_prometheus())
+        if path != "/extract":
+            return _json_response(404, {"error": "not_found",
+                                        "path": path})
+        if method != "POST":
+            return _json_response(405, {"error": "method_not_allowed"})
+        try:
+            request = json.loads(body.decode("utf-8") or "{}")
+        except ValueError:
+            return _json_response(400, {"error": "invalid_json"})
+        return await self._extract(request)
+
+    # -- the /extract route --------------------------------------------
+
+    def _corpus_of(self, request: Dict[str, object]):
+        documents = request.get("documents")
+        if isinstance(documents, dict):
+            return {str(k): str(v) for k, v in documents.items()}
+        texts = request.get("texts")
+        if isinstance(texts, list) and texts:
+            return [str(text) for text in texts]
+        raise ValueError(
+            'provide "texts": [..] or "documents": {id: text}')
+
+    def _program_of(self, request: Dict[str, object]):
+        pattern = request.get("pattern")
+        if pattern is None:
+            return None          # the service's default program
+        if self.query_factory is None:
+            raise ValueError(
+                "this endpoint serves a fixed program; "
+                "per-request patterns are not enabled")
+        return self.query_factory(str(pattern),
+                                  request.get("alphabet"))
+
+    async def _extract(self, request: Dict[str, object]) -> bytes:
+        try:
+            corpus = self._corpus_of(request)
+            program = self._program_of(request)
+            deadline_ms = request.get("deadline_ms")
+            deadline = (float(deadline_ms) / 1000.0
+                        if deadline_ms is not None else None)
+            tenant = str(request.get("tenant", "default"))
+        except (TypeError, ValueError) as error:
+            return _json_response(400, {"error": "bad_request",
+                                        "detail": str(error)})
+        try:
+            result = await self.service.extract_async(
+                corpus, program, tenant=tenant, deadline=deadline)
+        except ServiceOverloadedError as error:
+            return _json_response(
+                429, {"error": "overloaded",
+                      "capacity": error.capacity, "tenant": tenant})
+        except DeadlineExceededError as error:
+            return _json_response(
+                504, {"error": "deadline_exceeded", "tenant": tenant,
+                      "elapsed_seconds": error.elapsed,
+                      "budget_seconds": error.budget})
+        except ServiceClosedError:
+            return _json_response(503, {"error": "closed"})
+        except (ReproError, ValueError) as error:
+            return _json_response(400, {"error": "bad_request",
+                                        "detail": str(error)})
+        return _json_response(200, _result_payload(result))
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0
+                    ) -> Tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``
+        (useful with ``port=0`` for an ephemeral port)."""
+        self._server = await asyncio.start_server(
+            self._handle, host=host, port=port)
+        bound = self._server.sockets[0].getsockname()
+        return bound[0], bound[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("start() the server first")
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+
+def serve_http(service: ExtractionService, host: str = "127.0.0.1",
+               port: int = 8080, query_factory=None,
+               ready=None) -> None:
+    """Run the HTTP endpoint until interrupted (blocking).
+
+    ``ready`` is an optional callback receiving the bound
+    ``(host, port)`` once the socket is listening — what the CLI uses
+    to print the URL and smoke tests use to know when to connect.
+    """
+    server = ServiceHTTPServer(service, query_factory=query_factory)
+
+    async def _run() -> None:
+        bound = await server.start(host=host, port=port)
+        if ready is not None:
+            ready(bound)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.close()

@@ -1,0 +1,397 @@
+"""The resident :class:`ExtractionService`: one hot engine, many queries.
+
+Everything below the service is batch-oriented and synchronous; the
+service makes it *resident*.  One dispatcher thread owns a single
+:class:`repro.engine.ExtractionEngine` — the ownership boundary: no
+other thread ever touches the engine, so the plan cache, chunk cache,
+corpus index and worker pool stay hot and uncontended across thousands
+of queries — while any number of submitting threads (or asyncio tasks,
+or HTTP connections) funnel work through a bounded admission queue.
+
+Three serving disciplines, all explicit:
+
+* **Admission control** — the queue is bounded; a full queue rejects
+  *synchronously* with :class:`repro.errors.ServiceOverloadedError`
+  instead of buffering unboundedly (load shedding at the front door).
+* **Deadlines** — every query carries a
+  :class:`repro.engine.deadline.Deadline` started at submission, so
+  the budget covers queue wait too; the engine checks it cooperatively
+  at batch boundaries and raises
+  :class:`repro.errors.DeadlineExceededError` without poisoning the
+  shared engine (pool, caches and shm segments stay intact).
+* **Per-tenant accounting** — queries, tuples, deadline misses,
+  rejections, queue-wait and latency histograms, all labeled by
+  tenant in the engine's :class:`repro.obs.metrics.Metrics` registry
+  and exportable as Prometheus text.
+
+Typical use::
+
+    from repro import Q, Spanner
+
+    service = Q(spanner).split_by("tokens").workers(4).serve()
+    with service:
+        future = service.submit(texts, tenant="acme", deadline=0.5)
+        result = future.result()          # ServiceResult
+        print(result.total_tuples, service.tenant_stats("acme"))
+
+``await service.extract_async(...)`` is the asyncio front end; the
+stdlib HTTP/JSON endpoint on top lives in :mod:`repro.serve.http`
+(``python -m repro serve`` starts it).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from repro.core.spans import SpanTuple
+from repro.engine.deadline import Deadline, as_deadline
+from repro.errors import ServiceClosedError, ServiceOverloadedError
+from repro.obs.metrics import Metrics
+
+#: Queue sentinel telling the dispatcher thread to exit.
+_SHUTDOWN = object()
+
+
+@dataclass
+class ServiceResult:
+    """What one served query produced.
+
+    ``by_document`` maps ``doc_id -> set of span tuples`` (the
+    engine's result shape); the timing fields make latency visible per
+    query — ``queue_seconds`` is time spent waiting for the dispatcher
+    (admission to start of execution), ``run_seconds`` the engine pass
+    itself.
+    """
+
+    by_document: Dict[str, Set[SpanTuple]]
+    tenant: str
+    queue_seconds: float
+    run_seconds: float
+    program: str = "query"
+
+    @property
+    def total_tuples(self) -> int:
+        return sum(len(tuples) for tuples in self.by_document.values())
+
+    def __getitem__(self, doc_id: str) -> Set[SpanTuple]:
+        return self.by_document[doc_id]
+
+    def __len__(self) -> int:
+        return len(self.by_document)
+
+
+@dataclass
+class _Job:
+    """One admitted query, queued for the dispatcher thread."""
+
+    corpus: object
+    program: object
+    tenant: str
+    deadline: Deadline
+    future: "Future[ServiceResult]"
+    enqueued: float = field(default_factory=time.monotonic)
+
+
+class ExtractionService:
+    """A long-lived, concurrent front end over one extraction engine.
+
+    ``engine`` is an :class:`repro.engine.ExtractionEngine` the service
+    takes ownership of (it is driven exclusively by the service's
+    dispatcher thread and closed by :meth:`close`); build one
+    explicitly, or — the fluent route — let
+    :meth:`repro.query.Query.serve` derive service and engine from a
+    configured query in one call.
+
+    ``program`` optionally fixes a default extraction program
+    (:class:`repro.engine.Program` or anything
+    :meth:`repro.engine.Program.from_query` accepts): submissions may
+    then omit theirs.  ``max_queue`` bounds the admission queue
+    (``submit`` raises :class:`repro.errors.ServiceOverloadedError`
+    when it is full); ``default_deadline`` (seconds, or a
+    :class:`repro.engine.deadline.Deadline` factory value) applies to
+    queries that do not carry their own.
+
+    Queries execute **serially** on the dispatcher thread — chunk-level
+    parallelism comes from the engine's worker pool, and serial
+    dispatch is precisely what makes concurrent identical queries
+    share one certification and one chunk-cache population instead of
+    racing.  The service is usable as a context manager; it starts
+    lazily on first submission.
+    """
+
+    def __init__(
+        self,
+        engine,
+        program: object = None,
+        max_queue: int = 64,
+        default_deadline: Optional[float] = None,
+        name: str = "service",
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be positive")
+        self._engine = engine
+        self._default_program = program
+        self._default_deadline = default_deadline
+        self.name = name
+        self.max_queue = max_queue
+        self._queue: "queue.Queue[object]" = queue.Queue(maxsize=max_queue)
+        self._dispatcher: Optional[threading.Thread] = None
+        self._lifecycle = threading.Lock()
+        self._closed = False
+        metrics = engine.metrics
+        self._queries = metrics.counter
+        self._queue_depth = metrics.gauge("service.queue_depth")
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> "ExtractionService":
+        """Start the dispatcher thread (idempotent; implicit on first
+        submission)."""
+        with self._lifecycle:
+            if self._closed:
+                raise ServiceClosedError()
+            if self._dispatcher is None:
+                self._dispatcher = threading.Thread(
+                    target=self._dispatch_loop,
+                    name=f"repro-{self.name}-dispatcher",
+                    daemon=True,
+                )
+                self._dispatcher.start()
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop accepting queries and shut the service down.
+
+        With ``drain=True`` (default) queries already admitted run to
+        completion first; with ``drain=False`` pending queries fail
+        with :class:`repro.errors.ServiceClosedError`.  The owned
+        engine's pool and shm segments are released; caches survive on
+        the engine object.  Idempotent.
+        """
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            dispatcher = self._dispatcher
+        if not drain:
+            # Fail whatever is still queued; the dispatcher drains the
+            # sentinel afterwards.
+            while True:
+                try:
+                    job = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if isinstance(job, _Job):
+                    job.future.set_exception(ServiceClosedError())
+        if dispatcher is not None:
+            self._queue.put(_SHUTDOWN)
+            dispatcher.join()
+        self._engine.close()
+
+    def __enter__(self) -> "ExtractionService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    # Submission (any thread)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        corpus,
+        program: object = None,
+        tenant: str = "default",
+        deadline: object = None,
+    ) -> "Future[ServiceResult]":
+        """Admit one query; returns a future resolving to a
+        :class:`ServiceResult`.
+
+        ``corpus`` is anything the engine accepts (a
+        :class:`repro.engine.Corpus`, a mapping ``id -> text``, or a
+        sequence of texts); ``program`` defaults to the service's
+        default program.  ``deadline`` (seconds or a
+        :class:`Deadline`) starts counting *now* — queue wait spends
+        budget too.  Raises :class:`ServiceOverloadedError` when the
+        admission queue is full and :class:`ServiceClosedError` after
+        :meth:`close`; both are synchronous, before anything queues.
+        """
+        if self._closed:
+            self._count("service.rejections", tenant,
+                        reason="closed").inc()
+            raise ServiceClosedError()
+        program = program if program is not None else self._default_program
+        if program is None:
+            raise ValueError(
+                "no program: pass one to submit() or configure a "
+                "default on the service"
+            )
+        if deadline is None:
+            deadline = self._default_deadline
+        job = _Job(
+            corpus=corpus,
+            program=program,
+            tenant=tenant,
+            deadline=as_deadline(deadline),
+            future=Future(),
+        )
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            self._count("service.rejections", tenant,
+                        reason="overloaded").inc()
+            raise ServiceOverloadedError(self.max_queue) from None
+        self._queue_depth.set(self._queue.qsize())
+        if self._dispatcher is None:
+            self.start()
+        return job.future
+
+    def extract(self, corpus, program: object = None,
+                tenant: str = "default",
+                deadline: object = None) -> ServiceResult:
+        """Submit and block for the result (the synchronous shortcut)."""
+        return self.submit(corpus, program, tenant, deadline).result()
+
+    async def extract_async(self, corpus, program: object = None,
+                            tenant: str = "default",
+                            deadline: object = None) -> ServiceResult:
+        """The asyncio front end: awaitable submission.
+
+        Admission control still applies synchronously (an overloaded
+        service raises before anything is awaited); the returned
+        coroutine resolves when the dispatcher finishes the query.
+        """
+        import asyncio
+
+        future = self.submit(corpus, program, tenant, deadline)
+        return await asyncio.wrap_future(future)
+
+    # ------------------------------------------------------------------
+    # Dispatch (the engine-owning thread)
+    # ------------------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _SHUTDOWN:
+                break
+            self._queue_depth.set(self._queue.qsize())
+            self._execute(job)
+
+    def _execute(self, job: _Job) -> None:
+        if job.future.cancelled():
+            return
+        job.future.set_running_or_notify_cancel()
+        tenant = job.tenant
+        queue_wait = time.monotonic() - job.enqueued
+        self._histogram("service.queue_wait_seconds", tenant) \
+            .observe(queue_wait)
+        started = time.perf_counter()
+        try:
+            # Reject a dead-on-arrival budget before any engine work;
+            # mid-run expiry surfaces from the engine's own batch-
+            # boundary checks.
+            job.deadline.check()
+            result = self._engine.run(job.corpus, job.program,
+                                      deadline=job.deadline)
+        except BaseException as error:
+            from repro.errors import DeadlineExceededError
+
+            if isinstance(error, DeadlineExceededError):
+                self._count("service.deadline_misses", tenant).inc()
+            self._count("service.errors", tenant,
+                        kind=type(error).__name__).inc()
+            self._finish(job, started, tenant)
+            job.future.set_exception(error)
+            return
+        run_seconds = self._finish(job, started, tenant)
+        self._count("service.tuples", tenant).inc(result.total_tuples())
+        job.future.set_result(ServiceResult(
+            by_document=result.by_document,
+            tenant=tenant,
+            queue_seconds=queue_wait,
+            run_seconds=run_seconds,
+            program=getattr(job.program, "name", "query"),
+        ))
+
+    def _finish(self, job: _Job, started: float, tenant: str) -> float:
+        run_seconds = time.perf_counter() - started
+        self._count("service.queries", tenant).inc()
+        self._histogram("service.latency_seconds", tenant) \
+            .observe(job.deadline.elapsed())
+        return run_seconds
+
+    def _count(self, name: str, tenant: str, **labels):
+        return self._engine.metrics.counter(name, tenant=tenant, **labels)
+
+    def _histogram(self, name: str, tenant: str):
+        return self._engine.metrics.histogram(name, tenant=tenant)
+
+    # ------------------------------------------------------------------
+    # Introspection (any thread; read-only views)
+    # ------------------------------------------------------------------
+
+    @property
+    def metrics(self) -> Metrics:
+        """The engine's metrics registry (counters, histograms —
+        including every ``service.*`` tenant-labeled instrument)."""
+        return self._engine.metrics
+
+    def engine_stats(self):
+        """The owned engine's cumulative
+        :class:`repro.engine.stats.EngineStats` (certifications, cache
+        hit rates, chunks evaluated)."""
+        return self._engine.stats()
+
+    def tenant_stats(self, tenant: str = "default") -> Dict[str, object]:
+        """One tenant's serving counters as a flat dict.
+
+        ``queue_wait_p50/p95/p99`` and ``latency_p50/p95/p99`` are
+        histogram-bucket upper bounds (see
+        :meth:`repro.obs.metrics.Histogram.quantile`).
+        """
+        value = self._engine.metrics.value
+        wait = self._histogram("service.queue_wait_seconds", tenant)
+        latency = self._histogram("service.latency_seconds", tenant)
+        return {
+            "tenant": tenant,
+            "queries": value("service.queries", tenant=tenant),
+            "tuples": value("service.tuples", tenant=tenant),
+            "deadline_misses": value("service.deadline_misses",
+                                     tenant=tenant),
+            "rejections": value("service.rejections", tenant=tenant,
+                                reason="overloaded"),
+            "queue_wait_p50": wait.quantile(0.5),
+            "queue_wait_p95": wait.quantile(0.95),
+            "queue_wait_p99": wait.quantile(0.99),
+            "latency_p50": latency.quantile(0.5),
+            "latency_p95": latency.quantile(0.95),
+            "latency_p99": latency.quantile(0.99),
+        }
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition of the service + engine + kernel
+        registries (what ``GET /metrics`` serves)."""
+        from repro.obs.metrics import kernel_metrics
+
+        combined = Metrics().merge(self._engine.metrics) \
+                            .merge(kernel_metrics())
+        return combined.to_prometheus()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "running" if self._dispatcher is not None else "idle")
+        return (f"ExtractionService({self.name!r}, {state}, "
+                f"queue {self._queue.qsize()}/{self.max_queue})")

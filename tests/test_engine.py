@@ -159,6 +159,33 @@ class TestPlanCache:
         full = registry()
         assert registry_fingerprint(full) != registry_fingerprint(full[:1])
 
+    def test_structural_fingerprint_ignores_dict_insertion_order(self):
+        """The structural fallback canonicalizes containers: two
+        executables that differ only in the order their dict/set
+        attributes were populated are the same program and must share
+        a fingerprint (and hence one certification)."""
+
+        class TableSpanner:
+            def __init__(self, rules, symbols):
+                self.rules = dict(rules)
+                self.symbols = frozenset(symbols)
+
+        forward = TableSpanner([("a", 1), ("b", 2), (".", 3)], "ab .")
+        backward = TableSpanner([(".", 3), ("b", 2), ("a", 1)], " .ba")
+        assert fingerprint(forward) == fingerprint(backward)
+
+    def test_structural_fingerprint_canonicalizes_nested_containers(self):
+        from repro.engine.cache import _canonical_value
+
+        first = {"outer": ({"b": 2, "a": 1}, [frozenset("ba")])}
+        second = {"outer": ({"a": 1, "b": 2}, [frozenset("ab")])}
+        assert _canonical_value(first) == _canonical_value(second)
+        # Order that *means* something (tuples, lists) is preserved.
+        assert _canonical_value((1, 2)) != _canonical_value((2, 1))
+        assert _canonical_value(["x", "y"]) != _canonical_value(["y", "x"])
+        # Sets serialize sorted, not in iteration order.
+        assert _canonical_value(frozenset({"b", "a"})) == "set{'a','b'}"
+
     def test_decision_procedures_run_once_per_program(self):
         cache = PlanCache()
         planner = Planner(registry())

@@ -470,3 +470,35 @@ class TestDisabledOverhead:
         first = min(run_once() for _ in range(2))
         second = min(run_once() for _ in range(2))
         assert second < first * 3 + 0.05
+
+
+class TestChunkLatencyCoverage:
+    """``engine.chunk_eval_seconds`` must be populated in every
+    tracer/workers combination — the untraced multiprocess path used to
+    skip it entirely (chunks ran in workers, nothing observed)."""
+
+    @pytest.mark.parametrize(
+        "workers,traced",
+        [(0, False), (0, True), (2, False), (2, True)],
+        ids=["inproc", "inproc-traced", "pool", "pool-traced"],
+    )
+    def test_chunk_eval_histogram_populated(self, workers, traced):
+        spanner = compile_regex_formula(PATTERN, ALPHABET)
+        texts = [f"aa ab a{'a' * (i % 5)}." for i in range(12)]
+        engine = ExtractionEngine(
+            token_registry(), workers=workers, batch_size=4,
+            tracer=Tracer() if traced else None,
+        )
+        try:
+            result = engine.run(texts, Program(spanner))
+            baseline = ExtractionEngine(token_registry()).run(
+                texts, Program(spanner))
+            assert result.by_document == baseline.by_document
+            latency = engine.metrics.histogram(
+                "engine.chunk_eval_seconds")
+            evaluated = engine.stats().chunks_evaluated
+            assert evaluated > 0
+            assert latency.count == evaluated
+            assert latency.sum >= 0.0
+        finally:
+            engine.close()
