@@ -1,0 +1,435 @@
+"""E9 — Binary index storage: mmap open latency and edit deltas.
+
+Not a paper experiment but the storage moral of the paper's
+Wikipedia-edit scenario: once extraction state lives in an index, how
+fast that index *opens* and how little of it an edit *touches* decide
+whether incremental extraction pays off.  PR 9's storage engine
+(:mod:`repro.index.store`) answers both with an LSM-style design —
+immutable mmap-able binary segments plus delta segments and
+tombstones for edits.
+
+Two claims under test:
+
+* **Open latency** — ``SegmentedIndex.open`` maps segment files and
+  parses only their headers; postings decode lazily per queried gram.
+  ``CorpusIndex.load`` must parse the whole JSON snapshot and rebuild
+  every posting mask up front.  On a >= 100k-chunk corpus the mmap
+  open must be **>= 50x** faster — while admitting exactly the same
+  candidate texts for the same factor set.
+* **Edit delta** — after editing 1% of documents (one sentence each),
+  :meth:`ExtractionEngine.run_delta` maintains the index (one delta
+  segment + tombstones) and re-evaluates **<= 5%** of the corpus
+  chunks (everything unchanged is served by the chunk cache), with
+  results identical to a full rebuild-and-rerun.
+
+The JSON comparison artifact is written directly in the
+``CorpusIndex.save`` v1 payload shape from id-list postings —
+byte-identical semantics to ``CorpusIndex.build(...).save(...)``
+without its big-int build cost, so the benchmark measures *load*
+time, not our patience.
+
+``python -m benchmarks.bench_e9_index_store --smoke`` runs a
+scaled-down version with a relaxed (10x) open threshold as a CI
+regression gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+import pytest
+
+from benchmarks.conftest import report
+from repro.engine import Corpus, ExtractionEngine, Program
+from repro.index import CorpusIndex, factors_of
+from repro.index.store import SegmentedIndex
+from repro.index.trigram import grams_of
+from repro.runtime import RegisteredSplitter
+from repro.runtime.fast import FastSeparatorSplitter
+from repro.spanners.regex_formulas import compile_regex_formula
+from repro.spanners.vset_automaton import VSetAutomaton
+from repro.splitters.builders import separator_splitter
+
+ALPHABET = frozenset("abcdefgh qz.")
+
+#: The E7 selective workload: delimiter-bounded ``qz``-runs.
+PATTERN = (".*(\\.| )y{qz+}(\\.| ).*|y{qz+}(\\.| ).*"
+           "|.*(\\.| )y{qz+}|y{qz+}")
+
+
+def qz_extractor() -> VSetAutomaton:
+    return compile_regex_formula(PATTERN, ALPHABET)
+
+
+def sentence_registry() -> List[RegisteredSplitter]:
+    return [
+        RegisteredSplitter(
+            "sentences", separator_splitter(ALPHABET, "."),
+            priority=1, executor=FastSeparatorSplitter("."),
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Workload A: open latency (mmap binary vs JSON snapshot)
+# ----------------------------------------------------------------------
+
+
+_LETTERS = "abcdefgh"
+
+
+def _distinct_texts(count: int, seed: int) -> List[str]:
+    """``count`` distinct sentence-like chunk texts.
+
+    A base-8 letter suffix guarantees distinctness without leaving
+    the workload alphabet, so dedup cannot shrink the corpus.
+    """
+    rng = random.Random(seed)
+
+    def token() -> str:
+        return "".join(rng.choice(_LETTERS)
+                       for _ in range(rng.randint(2, 7)))
+
+    def suffix(value: int) -> str:
+        digits = []
+        while True:
+            digits.append(_LETTERS[value & 7])
+            value >>= 3
+            if not value:
+                return "".join(reversed(digits))
+
+    texts = []
+    for i in range(count):
+        words = [token() for _ in range(rng.randint(4, 8))]
+        if rng.random() < 0.05:
+            words[rng.randrange(len(words))] = \
+                "q" + "z" * rng.randint(1, 3)
+        words.append(suffix(i))
+        texts.append(" ".join(words))
+    return texts
+
+
+def write_json_snapshot(path: str, texts: List[str]) -> None:
+    """Write ``texts`` as a ``CorpusIndex.save`` v1 payload.
+
+    Postings are built as id *lists* (what the v1 file stores anyway)
+    instead of detouring through ``CorpusIndex.build``'s per-gram
+    big-int masks — same bytes, linear build time.
+    """
+    postings: Dict[str, List[int]] = {}
+    for tid, text in enumerate(texts):
+        for gram in grams_of(text):
+            postings.setdefault(gram, []).append(tid)
+    payload = {
+        "version": 1,
+        "splitter": None,
+        "documents": len(texts),
+        "chunk_instances": len(texts),
+        "shards_indexed": 1,
+        "texts": texts,
+        "postings": {gram: postings[gram] for gram in sorted(postings)},
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, ensure_ascii=False)
+
+
+def measure_open(n_texts: int, workdir: str, repeats: int = 5) -> dict:
+    """Build both artifacts over the same texts, time their opens.
+
+    Asserts (inside) that both opened indexes admit exactly the same
+    candidate texts for the selective factor set — the speedup is not
+    bought with a weaker prefilter.
+    """
+    texts = _distinct_texts(n_texts, seed=41)
+
+    json_path = os.path.join(workdir, "corpus.idx")
+    start = time.perf_counter()
+    write_json_snapshot(json_path, texts)
+    json_build_seconds = time.perf_counter() - start
+
+    binary_path = os.path.join(workdir, "corpus.segs")
+    start = time.perf_counter()
+    binary = SegmentedIndex.create(binary_path)
+    with binary.batch():
+        binary.add_document(texts, doc_id="corpus")
+    binary.close()
+    binary_build_seconds = time.perf_counter() - start
+
+    json_open_seconds = float("inf")
+    for _ in range(max(1, repeats // 2)):
+        start = time.perf_counter()
+        json_index = CorpusIndex.load(json_path)
+        json_open_seconds = min(json_open_seconds,
+                                time.perf_counter() - start)
+
+    binary_open_seconds = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        opened = SegmentedIndex.open(binary_path)
+        binary_open_seconds = min(binary_open_seconds,
+                                  time.perf_counter() - start)
+        if _ < repeats - 1:
+            opened.close()
+
+    # Same admitted candidates from both stores (ids differ — the
+    # binary store sorts texts — so compare the admitted text sets).
+    factors = factors_of(qz_extractor())
+    assert factors is not None and factors.effective
+    json_mask = json_index.candidates(factors)
+    binary_mask = opened.candidates(factors)
+    assert json_mask is not None and binary_mask is not None
+
+    def admitted(index, mask):
+        all_texts = list(index.texts()) if hasattr(index, "texts") \
+            else index._texts
+        return {all_texts[tid] for tid in range(len(all_texts))
+                if (mask >> tid) & 1}
+
+    json_admitted = admitted(json_index, json_mask)
+    binary_admitted = admitted(opened, binary_mask)
+    assert json_admitted == binary_admitted
+    assert 0 < len(binary_admitted) < n_texts
+    opened.close()
+
+    return {
+        "texts": n_texts,
+        "json_bytes": os.path.getsize(json_path),
+        "binary_bytes": sum(
+            os.path.getsize(os.path.join(binary_path, name))
+            for name in os.listdir(binary_path)
+        ),
+        "json_build_seconds": json_build_seconds,
+        "binary_build_seconds": binary_build_seconds,
+        "json_open_seconds": json_open_seconds,
+        "binary_open_seconds": binary_open_seconds,
+        "open_speedup": json_open_seconds / max(binary_open_seconds,
+                                                1e-9),
+        "admitted": len(binary_admitted),
+    }
+
+
+# ----------------------------------------------------------------------
+# Workload B: edit delta (1% of documents edited)
+# ----------------------------------------------------------------------
+
+
+def _edit_corpus(n_documents: int, sentences_per_document: int,
+                 seed: int) -> List[str]:
+    """Selective prose documents (5% of sentences carry ``qz``)."""
+    rng = random.Random(seed)
+
+    def token() -> str:
+        return "".join(rng.choice(_LETTERS)
+                       for _ in range(rng.randint(2, 7)))
+
+    def sentence(with_hit: bool) -> str:
+        words = [token() for _ in range(rng.randint(6, 12))]
+        if with_hit:
+            words[rng.randrange(len(words))] = \
+                "q" + "z" * rng.randint(1, 3)
+        return " ".join(words)
+
+    return [
+        ". ".join(sentence(rng.random() < 0.05)
+                  for _ in range(sentences_per_document)) + "."
+        for _ in range(n_documents)
+    ]
+
+
+def measure_edit_delta(n_documents: int,
+                       sentences_per_document: int = 12,
+                       seed: int = 53) -> dict:
+    """Edit 1% of documents; measure what ``run_delta`` re-evaluates.
+
+    Asserts (inside) that the delta results equal a fresh full
+    rebuild-and-rerun over the edited corpus, document by document.
+    """
+    documents = _edit_corpus(n_documents, sentences_per_document, seed)
+    corpus = Corpus.from_texts(documents)
+    program = Program(qz_extractor(), name="qz-runs")
+
+    workdir = tempfile.mkdtemp(prefix="bench-e9-")
+    engine = ExtractionEngine(sentence_registry(), batch_size=16)
+    index = engine.build_index(
+        corpus, program, format="binary",
+        path=os.path.join(workdir, "corpus.segs"),
+    )
+    engine.attach_index(index)
+    engine.run(corpus, program)
+    chunks_total = engine.stats().chunks_total
+
+    # Edit 1% of documents: one fresh qz-bearing sentence each.
+    rng = random.Random(seed + 1)
+    edited_count = max(1, n_documents // 100)
+    edited: Dict[str, str] = {}
+    for doc_index in rng.sample(range(n_documents), edited_count):
+        sentences = documents[doc_index].rstrip(".").split(". ")
+        # A doc-index suffix keeps the fresh sentences distinct, so
+        # chunk dedup cannot collapse the edits into one evaluation.
+        sentences[rng.randrange(len(sentences))] = (
+            "qzz added "
+            + " ".join("ab" for _ in range(rng.randint(3, 6)))
+            + " " + "".join(_LETTERS[(doc_index >> shift) & 7]
+                            for shift in (9, 6, 3, 0))
+        )
+        text = ". ".join(sentences) + "."
+        documents[doc_index] = text
+        edited[f"doc-{doc_index:04d}"] = text
+    delta_corpus = Corpus.from_mapping(edited)
+
+    start = time.perf_counter()
+    delta_result = engine.run_delta(delta_corpus, program)
+    delta_seconds = time.perf_counter() - start
+    reevaluated = delta_result.stats.chunk_cache_misses
+    fraction = reevaluated / max(chunks_total, 1)
+
+    # Ground truth: rebuild everything from the edited documents.
+    rebuilt_engine = ExtractionEngine(sentence_registry(),
+                                      batch_size=16)
+    edited_corpus = Corpus.from_texts(documents)
+    start = time.perf_counter()
+    rebuilt_index = rebuilt_engine.build_index(
+        edited_corpus, program, format="binary",
+        path=os.path.join(workdir, "rebuilt.segs"),
+    )
+    rebuilt_engine.attach_index(rebuilt_index)
+    full_result = rebuilt_engine.run(edited_corpus, program)
+    full_seconds = time.perf_counter() - start
+
+    for doc_id in edited:
+        assert delta_result.by_document.get(doc_id, set()) \
+            == full_result.by_document.get(doc_id, set()), doc_id
+    assert index.tombstone_count >= 1
+    assert index.segment_count > rebuilt_index.segment_count
+
+    summary = {
+        "documents": n_documents,
+        "chunks_total": chunks_total,
+        "documents_edited": edited_count,
+        "chunks_reevaluated": reevaluated,
+        "reevaluated_fraction": fraction,
+        "delta_seconds": delta_seconds,
+        "full_rebuild_seconds": full_seconds,
+        "delta_speedup": full_seconds / max(delta_seconds, 1e-9),
+        "tombstones": index.tombstone_count,
+        "segments_after_delta": index.segment_count,
+    }
+    engine.close()
+    index.close()
+    rebuilt_engine.close()
+    rebuilt_index.close()
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Benchmarks
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.benchmark(group="e9-index-store")
+def test_e9_open_latency(benchmark, tmp_path):
+    result = benchmark.pedantic(
+        lambda: measure_open(100_000, str(tmp_path)),
+        rounds=1, iterations=1,
+    )
+    report(
+        "E9 index store open",
+        "no paper claim (storage engine)",
+        f"mmap open {result['open_speedup']:.0f}x faster than JSON "
+        f"load on {result['texts']:,} chunks "
+        f"({result['binary_open_seconds']*1e3:.2f}ms vs "
+        f"{result['json_open_seconds']*1e3:.0f}ms), "
+        f"identical candidates",
+        metrics=result,
+    )
+    assert result["open_speedup"] >= 50.0
+
+
+@pytest.mark.benchmark(group="e9-index-store")
+def test_e9_edit_delta(benchmark):
+    result = benchmark.pedantic(
+        lambda: measure_edit_delta(400), rounds=1, iterations=1,
+    )
+    report(
+        "E9 edit delta",
+        "no paper claim (storage engine)",
+        f"1% edit re-evaluates "
+        f"{result['chunks_reevaluated']}/{result['chunks_total']} "
+        f"chunks ({result['reevaluated_fraction']:.2%}), delta "
+        f"{result['delta_speedup']:.1f}x faster than full rebuild, "
+        f"identical results",
+        metrics=result,
+    )
+    assert result["reevaluated_fraction"] <= 0.05
+    assert result["chunks_reevaluated"] >= result["documents_edited"]
+
+
+# ----------------------------------------------------------------------
+# CI smoke gate
+# ----------------------------------------------------------------------
+
+
+def run_smoke() -> int:
+    """Scaled-down storage-engine regression gate for CI.
+
+    A relaxed 10x open threshold absorbs the smaller corpus and
+    runner noise; the candidate-parity and delta-equivalence
+    assertions inside the helpers are exact at any scale.
+    """
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="e9-smoke-") as workdir:
+        opened = measure_open(4_000, workdir, repeats=3)
+    print(f"[e9-smoke] open {opened['open_speedup']:.1f}x "
+          f"({opened['binary_open_seconds']*1e3:.2f}ms mmap vs "
+          f"{opened['json_open_seconds']*1e3:.1f}ms JSON, "
+          f"{opened['texts']} chunks)")
+    if opened["open_speedup"] < 10.0:
+        failures.append(
+            f"open speedup {opened['open_speedup']:.1f}x < 10x"
+        )
+
+    delta = measure_edit_delta(100, sentences_per_document=8)
+    print(f"[e9-smoke] edit delta re-evaluated "
+          f"{delta['chunks_reevaluated']}/{delta['chunks_total']} "
+          f"chunks ({delta['reevaluated_fraction']:.2%}), "
+          f"{delta['tombstones']} tombstones")
+    if delta["reevaluated_fraction"] > 0.05:
+        failures.append(
+            f"re-evaluated {delta['reevaluated_fraction']:.2%} "
+            f"of chunks > 5%"
+        )
+
+    for failure in failures:
+        print(f"[e9-smoke] FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("[e9-smoke] ok")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="E9 index-storage benchmark",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the scaled-down CI regression gate",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return run_smoke()
+    parser.error("run under pytest for the full benchmark, "
+                 "or pass --smoke")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,7 @@ paper-to-module map and EXPERIMENTS.md for the reproduced results.
 from repro.errors import (
     CertificationError,
     DeadlineExceededError,
+    IndexFormatError,
     NotFunctionalError,
     ReproError,
     ServiceClosedError,
@@ -101,12 +102,19 @@ from repro.runtime import (
     split_by_parallel,
 )
 from repro.engine import Corpus, Deadline, Document, ExtractionEngine, Program
-from repro.index import CorpusIndex, FactorSet, IndexFilter, factors_of
+from repro.index import (
+    CorpusIndex,
+    FactorSet,
+    IndexFilter,
+    SegmentedIndex,
+    factors_of,
+    open_index,
+)
 from repro.obs import Metrics, Tracer, kernel_metrics
 from repro.runtime import RegisteredSplitter
 from repro.serve import ExtractionService, ServiceResult, serve_http
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     # The fluent query API (the documented front door).
@@ -121,6 +129,7 @@ __all__ = [
     "CertificationError",
     "UnknownSplitterError",
     "DeadlineExceededError",
+    "IndexFormatError",
     "ServiceOverloadedError",
     "ServiceClosedError",
     # Corpus engine.
@@ -138,7 +147,9 @@ __all__ = [
     "CorpusIndex",
     "FactorSet",
     "IndexFilter",
+    "SegmentedIndex",
     "factors_of",
+    "open_index",
     # Observability (tracing spans + metrics registry).
     "Tracer",
     "Metrics",

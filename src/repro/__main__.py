@@ -67,9 +67,9 @@ def _build_query(args) -> Query:
     if getattr(args, "batch_size", None) is not None:
         query = query.batch_size(args.batch_size)
     if getattr(args, "index", None) is not None:
-        from repro.index import CorpusIndex
-
-        query = query.indexed(CorpusIndex.load(args.index))
+        # A path — JSON file or binary segment directory, resolved by
+        # repro.index.store.open_index when the query binds.
+        query = query.indexed(args.index)
     elif getattr(args, "prefilter", False):
         query = query.indexed()
     if getattr(args, "trace", None) is not None:
@@ -267,7 +267,7 @@ def serve_command(args) -> int:
 
 def index_command(args) -> int:
     """Build (and optionally persist) a corpus index over chunks."""
-    from repro.index import CorpusIndex
+    from repro.index import CorpusIndex, SegmentedIndex
     from repro.query import Splitter
 
     try:
@@ -279,21 +279,92 @@ def index_command(args) -> int:
         print("error: no documents (use --text and/or --file)",
               file=sys.stderr)
         return 2
+    if args.format == "binary" and not args.output:
+        print("error: --format binary needs --output DIRECTORY",
+              file=sys.stderr)
+        return 2
     try:
         splitter = Splitter.named(args.splitter, frozenset(args.alphabet))
-        index = CorpusIndex.build(corpus, splitter, num_shards=args.shards)
-    except (ReproError, ValueError) as error:
+        if args.format == "binary":
+            index = SegmentedIndex.build(corpus, splitter, args.output,
+                                         num_shards=args.shards)
+        else:
+            index = CorpusIndex.build(corpus, splitter,
+                                      num_shards=args.shards)
+    except (ReproError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     for key, value in index.describe().items():
         print(f"  {key}: {value}")
-    if args.output:
+    if args.format == "binary":
+        print(f"saved index to {args.output}")
+    elif args.output:
         try:
             index.save(args.output)
         except OSError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
         print(f"saved index to {args.output}")
+    return 0
+
+
+def index_compact_command(args) -> int:
+    """Fold a segment directory flat, dropping tombstoned texts."""
+    from repro.index import SegmentedIndex
+
+    try:
+        index = SegmentedIndex.open(args.index)
+        summary = index.compact()
+        index.close()
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    for key, value in summary.items():
+        print(f"  {key}: {value}")
+    print(f"compacted index at {args.index}")
+    return 0
+
+
+def index_update_command(args) -> int:
+    """Re-index edited documents by delta (tombstones + delta segment).
+
+    Each ``--file PATH`` re-chunks that file under the index's own
+    splitter and diffs it against the document the index knows by that
+    id (the path, or ``--doc-id`` for a single file); documents given
+    with ``--remove ID`` are retired.
+    """
+    from repro.index import SegmentedIndex
+    from repro.query import Splitter
+
+    files = args.file or []
+    if args.doc_id and len(files) != 1:
+        print("error: --doc-id needs exactly one --file",
+              file=sys.stderr)
+        return 2
+    try:
+        index = SegmentedIndex.open(args.index)
+        splitter = Splitter.named(
+            index.splitter or args.splitter, frozenset(args.alphabet)
+        )
+        with index.batch():
+            for path in files:
+                with open(path, encoding="utf-8") as handle:
+                    text = handle.read()
+                doc_id = args.doc_id or path
+                delta = index.update_document(
+                    doc_id, splitter.chunks(text)
+                )
+                print(f"  {doc_id}: +{delta['added']} "
+                      f"-{delta['removed']} distinct texts")
+            for doc_id in args.remove or []:
+                retired = index.remove_document(doc_id)
+                print(f"  {doc_id}: removed ({retired} texts retired)")
+        for key, value in index.describe().items():
+            print(f"  {key}: {value}")
+        index.close()
+    except (ReproError, ValueError, OSError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -426,9 +497,44 @@ def main(argv=None) -> int:
     index_parser.add_argument("--file", action="append",
                               help="path to a document file (repeatable)")
     index_parser.add_argument("--shards", type=int, default=1,
-                              help="index the corpus in N shards")
+                              help="index the corpus in N shards "
+                                   "(binary: one segment per shard)")
+    index_parser.add_argument(
+        "--format", default="json", choices=["json", "binary"],
+        help="storage format: json (single file) or binary "
+             "(mmap-able segment directory, delta-updatable)",
+    )
     index_parser.add_argument("--output", default=None, metavar="PATH",
-                              help="write the index as JSON to PATH")
+                              help="write the index to PATH (json: a "
+                                   "file; binary: a directory)")
+    compact_parser = subparsers.add_parser(
+        "index-compact",
+        help="merge a binary index's segments, dropping tombstones",
+    )
+    compact_parser.add_argument("--index", required=True, metavar="DIR",
+                                help="segment directory built by "
+                                     "`repro index --format binary`")
+    update_parser = subparsers.add_parser(
+        "index-update",
+        help="re-index edited documents by delta (binary index)",
+    )
+    update_parser.add_argument("--index", required=True, metavar="DIR",
+                               help="segment directory to update")
+    update_parser.add_argument("--alphabet", required=True,
+                               help="document alphabet, e.g. 'ab .'")
+    update_parser.add_argument(
+        "--splitter", default="sentences",
+        help=f"fallback splitter if the index records none: {known}",
+    )
+    update_parser.add_argument("--file", action="append",
+                               help="edited document file (repeatable; "
+                                    "doc id = path)")
+    update_parser.add_argument("--doc-id", default=None,
+                               help="document id for a single --file")
+    update_parser.add_argument("--remove", action="append",
+                               metavar="ID",
+                               help="retire a document by id "
+                                    "(repeatable)")
     args = parser.parse_args(argv)
     if args.command == "analyze":
         return analyze(args)
@@ -438,6 +544,10 @@ def main(argv=None) -> int:
         return serve_command(args)
     if args.command == "index":
         return index_command(args)
+    if args.command == "index-compact":
+        return index_compact_command(args)
+    if args.command == "index-update":
+        return index_update_command(args)
     return 1
 
 

@@ -258,11 +258,13 @@ class ExtractionEngine:
         self._registry_fp = registry_fingerprint(self.planner.splitters)
         if method != "general":
             self._registry_fp += f"+{method}"
-        self._index = corpus_index
+        self._index = None
         self._prefilter = prefilter
         # IndexFilter per certificate fingerprint; invalidated when the
         # index changes (the filter binds the index's candidate mask).
         self._filters: Dict[str, Optional[object]] = {}
+        if corpus_index is not None:
+            self.attach_index(corpus_index)
         # Per-engine counters, stored as instruments in the metrics
         # registry (stats() is a view over them): caches may be shared
         # between engines, so each run attributes only its own
@@ -372,30 +374,76 @@ class ExtractionEngine:
     def attach_index(self, index) -> None:
         """Attach (or replace) the corpus index used for prefiltering.
 
-        Takes effect from the next run; with the default
-        ``prefilter=None`` attaching an index is what switches chunk
-        skipping on.
+        Accepts an index object (:class:`repro.index.CorpusIndex` or
+        :class:`repro.index.store.SegmentedIndex`) or a *path*, opened
+        via :func:`repro.index.store.open_index`.  A directory-backed
+        (mmap) index is also registered with the scheduler so pool
+        workers map its segments by path in their initializers —
+        postings never ride a pickle to a worker.  Takes effect from
+        the next run; with the default ``prefilter=None`` attaching an
+        index is what switches chunk skipping on.
         """
+        if isinstance(index, str):
+            from repro.index.store import open_index
+
+            path, index = index, open_index(index)
+            if not hasattr(index, "directory"):
+                # Record where a file-backed index came from so query
+                # plumbing can recognize an already-attached path.
+                index.source_path = path
         self._index = index
         self._filters.clear()
+        self.scheduler.premap_index(
+            getattr(index, "directory", None)
+        )
 
     def build_index(self, corpus: CorpusLike, program: ProgramLike,
-                    num_shards: int = 1):
+                    num_shards: int = 1, format: str = "json",
+                    path: Optional[str] = None):
         """Index ``corpus`` exactly as this engine would chunk it.
 
         Certifies ``program`` (cached) and feeds every document's plan
-        chunks to a fresh :class:`repro.index.CorpusIndex`, so lookups
-        at run time hit by construction.  The index is returned, not
-        attached — pass it to :meth:`attach_index` (or build once,
-        :meth:`repro.index.CorpusIndex.save`, and reuse forever).
+        chunks to a fresh index, so lookups at run time hit by
+        construction.  ``format="json"`` (default) builds an in-memory
+        :class:`repro.index.CorpusIndex`; ``format="binary"`` builds a
+        mmap-backed :class:`repro.index.store.SegmentedIndex` in the
+        directory ``path`` (required), one segment per shard, with
+        per-document tracking so later edits maintain it by delta.
+        The index is returned, not attached — pass it to
+        :meth:`attach_index`.
         """
-        from repro.index import CorpusIndex
-
         corpus = _as_corpus(corpus)
         certified = self.certify(program)
-        index = CorpusIndex(splitter=certified.splitter_name)
         shards = (corpus.shards(num_shards) if num_shards > 1
                   else [corpus])
+        if format == "binary":
+            if path is None:
+                raise ValueError(
+                    "format='binary' needs a directory path for the "
+                    "segment files"
+                )
+            from repro.index.store import SegmentedIndex
+
+            index = SegmentedIndex.create(
+                path, splitter=certified.splitter_name
+            )
+            for shard in shards:
+                with index.batch():
+                    for document in shard:
+                        index.add_document(
+                            [text for _span, text in
+                             self._chunks_of(certified, document)],
+                            doc_id=document.doc_id,
+                        )
+                    index.shards_indexed += 1
+            return index
+        if format != "json":
+            raise ValueError(
+                f"unknown index format {format!r} (json or binary)"
+            )
+        from repro.index import CorpusIndex
+
+        index = CorpusIndex(splitter=certified.splitter_name)
         for shard in shards:
             for document in shard:
                 index.add_document(
@@ -404,6 +452,50 @@ class ExtractionEngine:
                 )
             index.shards_indexed += 1
         return index
+
+    def run_delta(
+        self,
+        corpus: CorpusLike,
+        program: ProgramLike,
+        deadline: object = None,
+    ) -> EngineResult:
+        """Re-run ``program`` over edited documents, maintaining the
+        attached index by delta.
+
+        Requires an attached delta-maintainable index
+        (:class:`repro.index.store.SegmentedIndex`).  Each document's
+        fresh chunk set is diffed into the index first — introduced
+        chunk texts land in **one** new delta segment, texts no longer
+        referenced anywhere are tombstoned — then the run proceeds
+        normally: the chunk cache serves every unchanged chunk, so the
+        automaton only ever sees the chunks the edits introduced (the
+        ``engine.chunk_cache.misses`` delta of the returned stats is
+        exactly that count).
+        """
+        index = self._index
+        if index is None or not hasattr(index, "update_document"):
+            raise ValueError(
+                "run_delta needs an attached delta-maintainable index "
+                "(attach a repro.index.store.SegmentedIndex first)"
+            )
+        corpus = _as_corpus(corpus)
+        program = _as_program(program)
+        certified = self.certify(program)
+        with self.tracer.span("delta_index", documents=len(corpus)):
+            with index.batch():
+                for document in corpus:
+                    index.update_document(
+                        document.doc_id,
+                        [text for _span, text in
+                         self._chunks_of(certified, document)],
+                    )
+        before = self.stats()
+        by_document: Dict[str, Set[SpanTuple]] = dict(
+            self._iter_certified(corpus, program, certified,
+                                 as_deadline(deadline))
+        )
+        return EngineResult(by_document, certified,
+                            self.stats().since(before))
 
     def _prefilter_for(self, certified: CertifiedPlan):
         """The :class:`repro.index.IndexFilter` gating this

@@ -37,9 +37,11 @@ from repro.runtime.executor import (
     _evaluate_texts_batch,
     _evaluate_texts_batch_metered,
     _init_worker,
+    _init_worker_premap,
     _init_worker_shm,
     _init_worker_shm_traced,
     _init_worker_traced,
+    _worker_index_status,
     _worker_shm_status,
 )
 
@@ -111,7 +113,11 @@ class Scheduler:
         self._pool: Optional[multiprocessing.pool.Pool] = None
         self._pool_runner: Optional[SpannerLike] = None
         self._pool_traced = False
+        self._pool_premap: Optional[str] = None
         self._shm_artifact = None
+        #: Segmented-index directory each pool worker maps in its
+        #: initializer (see :meth:`premap_index`); ``None`` = none.
+        self._premap_path: Optional[str] = None
 
     # ------------------------------------------------------------------
 
@@ -133,7 +139,8 @@ class Scheduler:
         """
         traced = self.tracer.enabled
         if (self._pool is not None and self._pool_runner is runner
-                and self._pool_traced == traced):
+                and self._pool_traced == traced
+                and self._pool_premap == self._premap_path):
             return self._pool
         self._retire_pool()
         segment = self._publish_shm(runner)
@@ -144,6 +151,12 @@ class Scheduler:
         else:
             initializer = _init_worker_traced if traced else _init_worker
             initargs = (runner,)
+        if self._premap_path is not None:
+            # Wrap: base init, then each worker maps the segmented
+            # index by path — the directory name is all that crosses
+            # the process boundary; postings arrive via the page cache.
+            initargs = (initializer, initargs[0], self._premap_path)
+            initializer = _init_worker_premap
         self._pool = multiprocessing.Pool(
             processes=self.workers,
             initializer=initializer,
@@ -151,6 +164,7 @@ class Scheduler:
         )
         self._pool_runner = runner
         self._pool_traced = traced
+        self._pool_premap = self._premap_path
         return self._pool
 
     def _publish_shm(self, runner: SpannerLike):
@@ -190,6 +204,28 @@ class Scheduler:
             _worker_shm_status, range(max(1, self.workers) * 4)
         )
 
+    def premap_index(self, path: Optional[str]) -> None:
+        """Have pool workers map the segmented index at ``path`` in
+        their initializer (``None`` switches it off).
+
+        Takes effect at the next pool (re)build: the current pool, if
+        its premap differs, is gracefully drained on the next
+        :meth:`run` — exactly like a runner swap.
+        """
+        self._premap_path = path
+
+    def worker_index_status(self) -> List[Tuple[int, int, int]]:
+        """Probe live pool workers: ``(pid, index opens, segments
+        mapped)`` from each worker's kernel-metrics registry — the
+        evidence that postings were mapped worker-side, not pickled
+        across (several probes per worker, as
+        :meth:`worker_shm_status`)."""
+        if self._pool is None:
+            return []
+        return self._pool.map(
+            _worker_index_status, range(max(1, self.workers) * 4)
+        )
+
     def _retire_pool(self) -> None:
         """Gracefully drain and discard the current pool (runner swap).
 
@@ -206,6 +242,7 @@ class Scheduler:
             self._pool = None
             self._pool_runner = None
             self._pool_traced = False
+            self._pool_premap = None
         self._unlink_shm()
 
     def _unlink_shm(self) -> None:
@@ -230,6 +267,7 @@ class Scheduler:
             self._pool = None
             self._pool_runner = None
             self._pool_traced = False
+            self._pool_premap = None
         self._unlink_shm()
 
     def __del__(self) -> None:  # best-effort cleanup

@@ -87,6 +87,25 @@ class ServiceClosedError(ReproError, RuntimeError):
         super().__init__("the extraction service is closed")
 
 
+class IndexFormatError(ReproError, ValueError):
+    """A persisted corpus index cannot be opened as its format claims.
+
+    Raised by :meth:`repro.index.CorpusIndex.load` and the binary
+    segment store (:mod:`repro.index.store`) for unsupported format
+    versions, bad magic bytes, truncated files, and splitter-
+    fingerprint mismatches between a manifest and its segments.
+    Carries the offending ``path`` when one is known.  Subclasses
+    :class:`ValueError` because the JSON loader historically raised
+    that for version mismatches.
+    """
+
+    def __init__(self, message: str, path: Optional[str] = None):
+        self.path = path
+        if path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+
+
 class UnknownSplitterError(ReproError, KeyError):
     """A splitter name is not in the builder registry.
 

@@ -33,11 +33,14 @@ extractable factors simply falls back to full evaluation.
 
 from repro.index.factors import FactorSet, factors_of
 from repro.index.filter import IndexFilter
+from repro.index.store import SegmentedIndex, open_index
 from repro.index.trigram import CorpusIndex
 
 __all__ = [
     "CorpusIndex",
     "FactorSet",
     "IndexFilter",
+    "SegmentedIndex",
     "factors_of",
+    "open_index",
 ]

@@ -34,7 +34,13 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.index.factors import FactorSet
-from repro.index.trigram import CorpusIndex
+
+#: The duck-typed index contract this filter binds to: anything with
+#: ``candidates(factors)``, ``text_id(text)``, ``version`` and
+#: ``splitter`` qualifies — the JSON :class:`repro.index.trigram.
+#: CorpusIndex` and the binary :class:`repro.index.store.
+#: SegmentedIndex` both do.
+IndexLike = object
 
 
 class IndexFilter:
@@ -54,7 +60,7 @@ class IndexFilter:
     def __init__(
         self,
         factors: FactorSet,
-        index: Optional[CorpusIndex] = None,
+        index: Optional[IndexLike] = None,
         metrics: Optional[object] = None,
         plan: Optional[str] = None,
     ) -> None:
@@ -123,6 +129,10 @@ class IndexFilter:
         if self.index is not None:
             report["indexed_texts"] = len(self.index)
             report["index_splitter"] = self.index.splitter
+            report["index_format"] = getattr(self.index, "format",
+                                             "unknown")
+            report["index_segments"] = getattr(self.index,
+                                               "segment_count", 1)
         return report
 
     def __repr__(self) -> str:

@@ -1,0 +1,57 @@
+"""Binary mmap-able index storage (segments, tombstones, compaction).
+
+The storage engine behind ``repro index --format binary``: immutable
+binary segment files (:mod:`repro.index.store.segment`) composed into
+a delta-maintainable :class:`SegmentedIndex`
+(:mod:`repro.index.store.segmented`) that satisfies the same
+candidate-mask contract as the JSON
+:class:`repro.index.trigram.CorpusIndex`.  :func:`open_index` opens
+either format from a path, so engine, CLI and service code never
+branch on storage.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import IndexFormatError
+from repro.index.store.segment import (
+    Segment,
+    splitter_fingerprint,
+    text_digest,
+    write_segment,
+)
+from repro.index.store.segmented import MANIFEST_NAME, SegmentedIndex
+
+
+def open_index(path: str):
+    """Open a persisted index, whatever its storage format.
+
+    A directory holding a segment manifest opens as a (mmap-backed)
+    :class:`SegmentedIndex`; a file opens as a JSON
+    :class:`repro.index.trigram.CorpusIndex`.  Raises
+    :class:`repro.errors.IndexFormatError` when the path is neither.
+    """
+    from repro.index.trigram import CorpusIndex
+
+    if os.path.isdir(path):
+        if not os.path.exists(os.path.join(path, MANIFEST_NAME)):
+            raise IndexFormatError(
+                "directory holds no index manifest", path=path
+            )
+        return SegmentedIndex.open(path)
+    if not os.path.exists(path):
+        raise IndexFormatError("no such index", path=path)
+    return CorpusIndex.load(path)
+
+
+__all__ = [
+    "IndexFormatError",
+    "MANIFEST_NAME",
+    "Segment",
+    "SegmentedIndex",
+    "open_index",
+    "splitter_fingerprint",
+    "text_digest",
+    "write_segment",
+]

@@ -1,0 +1,682 @@
+"""The :class:`SegmentedIndex`: many immutable segments, one index.
+
+This is the binary storage engine's answer to
+:class:`repro.index.trigram.CorpusIndex`: the same candidate-mask
+contract (``candidates``/``text_id``/``version``/``splitter``), backed
+not by an in-memory dict of postings but by a *directory* of
+memory-mapped :class:`repro.index.store.segment.Segment` files plus a
+small JSON manifest.  Text ids are global — segment *k*'s local ids
+are offset by the number of texts in segments before it — so the
+candidate bitmask the :class:`repro.index.filter.IndexFilter` consumes
+is simply the OR of per-segment masks shifted to their bases.
+
+Mutation follows the LSM discipline:
+
+* **segments are immutable** — once written, a segment file is only
+  ever mapped or unlinked;
+* **additions** stage in memory and flush as a fresh *delta* segment
+  (:meth:`flush`; bulk builds flush once per shard, document edits
+  once per edit);
+* **removals** are *tombstones*: a set of text digests recorded in the
+  manifest.  Tombstones never touch candidate masks — clearing a bit
+  claims "provably no match", which retirement cannot prove — they
+  only make :meth:`text_id` answer ``None`` so retired texts fall back
+  to the (sound) exact scan, and they make :meth:`compact` drop the
+  payload;
+* **compaction** (:meth:`compact`) merges every segment minus
+  tombstoned texts into one fresh segment and unlinks the old files.
+  POSIX unlink semantics keep concurrently mapped readers alive: an
+  index opened before a compact keeps serving its old generation until
+  it calls :meth:`refresh`.
+
+Document-level delta maintenance (:meth:`update_document`) keeps a
+sidecar (``documents.json``) of each document's chunk digests plus
+per-digest reference counts; an edit stages only the chunk texts the
+edit introduced and tombstones the ones whose last reference dropped —
+re-indexing cost proportional to the edit, the Wikipedia-revision
+scenario of the paper applied to the index itself.
+
+Pickling is by *path*: workers receive ``(open, (directory,))`` and
+re-map the segment files themselves, so posting payloads cross process
+boundaries through the page cache, never through pickle.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import IndexFormatError
+from repro.index.factors import FactorSet
+from repro.index.store.segment import (
+    Segment,
+    splitter_fingerprint,
+    text_digest,
+    write_segment,
+)
+from repro.obs.metrics import kernel_metrics
+
+MANIFEST_NAME = "MANIFEST.json"
+DOCUMENTS_NAME = "documents.json"
+MANIFEST_FORMAT = "repro-segmented-index"
+MANIFEST_VERSION = 1
+
+
+def _atomic_write_json(path: str, payload: Dict[str, object]) -> None:
+    temp = path + ".tmp"
+    with open(temp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, ensure_ascii=False, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temp, path)
+
+
+class SegmentedIndex:
+    """A directory of mmap-backed index segments with delta updates.
+
+    Construct via :meth:`create` (new, empty), :meth:`open` (existing
+    directory), or :meth:`build` (index a corpus).  All mutators
+    persist before returning — the directory on disk is always a
+    complete, openable index.
+    """
+
+    format = "binary-segments"
+
+    def __init__(
+        self,
+        directory: str,
+        splitter: Optional[str] = None,
+        _from_factory: bool = False,
+    ) -> None:
+        if not _from_factory:
+            raise TypeError(
+                "use SegmentedIndex.create/open/build, not the "
+                "constructor"
+            )
+        self.directory = directory
+        self.splitter = splitter
+        self.version = 0
+        self.generation = 0
+        self.documents = 0
+        self.chunk_instances = 0
+        self.shards_indexed = 0
+        self._segments: List[Segment] = []
+        self._segment_names: List[str] = []
+        self._bases: List[int] = []
+        self._next_segment = 1
+        #: Staged (not yet flushed) distinct texts, insertion-ordered.
+        self._staged: Dict[str, bool] = {}
+        #: sha1 digests of retired texts (never prunes masks; see
+        #: module docstring).
+        self._tombstones: Set[bytes] = set()
+        #: doc_id -> per-instance digest hexes; digest hex -> document
+        #: reference count.  Loaded lazily from the sidecar.
+        self._doc_records: Optional[Dict[str, List[str]]] = None
+        self._refcounts: Optional[Dict[str, int]] = None
+        self._autoflush = True
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, directory: str, splitter: Optional[str] = None
+    ) -> "SegmentedIndex":
+        """Initialize an empty index directory (must not already hold
+        a manifest)."""
+        os.makedirs(directory, exist_ok=True)
+        manifest = os.path.join(directory, MANIFEST_NAME)
+        if os.path.exists(manifest):
+            raise IndexFormatError(
+                "directory already holds an index (open it instead)",
+                path=directory,
+            )
+        index = cls(directory, splitter=splitter, _from_factory=True)
+        index._doc_records = {}
+        index._refcounts = {}
+        index._write_manifest()
+        return index
+
+    @classmethod
+    def open(cls, directory: str) -> "SegmentedIndex":
+        """Map an existing index directory (header-only parsing; cost
+        is independent of index size)."""
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except FileNotFoundError:
+            raise IndexFormatError(
+                "no index manifest (not a segmented index directory)",
+                path=directory,
+            ) from None
+        except ValueError as error:
+            raise IndexFormatError(
+                f"unreadable index manifest ({error})", path=manifest_path
+            ) from error
+        if (not isinstance(manifest, dict)
+                or manifest.get("format") != MANIFEST_FORMAT):
+            raise IndexFormatError(
+                "not a segmented-index manifest", path=manifest_path
+            )
+        if manifest.get("version") != MANIFEST_VERSION:
+            raise IndexFormatError(
+                "unsupported segmented-index version "
+                f"{manifest.get('version')!r}", path=manifest_path,
+            )
+        index = cls(directory, splitter=manifest.get("splitter"),
+                    _from_factory=True)
+        index._load_manifest(manifest)
+        metrics = kernel_metrics()
+        metrics.counter("index.opens").inc()
+        metrics.counter("index.segments_mapped").inc(
+            len(index._segments)
+        )
+        metrics.counter("index.mapped_bytes").inc(
+            sum(segment.nbytes for segment in index._segments)
+        )
+        return index
+
+    @classmethod
+    def build(
+        cls,
+        corpus,
+        splitter,
+        directory: str,
+        name: Optional[str] = None,
+        num_shards: int = 1,
+    ) -> "SegmentedIndex":
+        """Index every chunk of ``corpus`` into ``directory``.
+
+        Mirrors :meth:`repro.index.trigram.CorpusIndex.build`; with
+        ``num_shards > 1`` each shard flushes its own segment file, so
+        the directory records the build's parallel structure and
+        :meth:`compact` can later fold it flat.
+        """
+        from repro.engine.engine import _as_corpus
+
+        corpus = _as_corpus(corpus)
+        index = cls.create(
+            directory,
+            splitter=name or getattr(splitter, "name", None),
+        )
+        if num_shards <= 1:
+            index.add_shard(corpus, splitter)
+        else:
+            for shard in corpus.shards(num_shards):
+                index.add_shard(shard, splitter)
+        return index
+
+    def _load_manifest(self, manifest: Dict[str, object]) -> None:
+        self.generation = int(manifest.get("generation", 0))
+        self.documents = int(manifest.get("documents", 0))
+        self.chunk_instances = int(manifest.get("chunk_instances", 0))
+        self.shards_indexed = int(manifest.get("shards_indexed", 0))
+        self._next_segment = int(manifest.get("next_segment", 1))
+        self._tombstones = {
+            bytes.fromhex(entry)
+            for entry in manifest.get("tombstones", [])
+        }
+        expected = splitter_fingerprint(self.splitter)
+        segments: List[Segment] = []
+        names: List[str] = []
+        try:
+            for name in manifest.get("segments", []):
+                segment = Segment(os.path.join(self.directory, name))
+                if segment.fingerprint != expected:
+                    segment.close()
+                    raise IndexFormatError(
+                        f"segment {name} was built under splitter "
+                        f"fingerprint {segment.fingerprint}, manifest "
+                        f"expects {expected}", path=self.directory,
+                    )
+                segments.append(segment)
+                names.append(name)
+        except Exception:
+            for segment in segments:
+                segment.close()
+            raise
+        self._segments = segments
+        self._segment_names = names
+        self._recompute_bases()
+        self.version += 1
+
+    def _recompute_bases(self) -> None:
+        self._bases = []
+        base = 0
+        for segment in self._segments:
+            self._bases.append(base)
+            base += len(segment)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def _write_manifest(self) -> None:
+        _atomic_write_json(
+            os.path.join(self.directory, MANIFEST_NAME),
+            {
+                "format": MANIFEST_FORMAT,
+                "version": MANIFEST_VERSION,
+                "generation": self.generation,
+                "splitter": self.splitter,
+                "splitter_fingerprint":
+                    splitter_fingerprint(self.splitter),
+                "documents": self.documents,
+                "chunk_instances": self.chunk_instances,
+                "shards_indexed": self.shards_indexed,
+                "segments": list(self._segment_names),
+                "next_segment": self._next_segment,
+                "tombstones": sorted(
+                    digest.hex() for digest in self._tombstones
+                ),
+            },
+        )
+
+    def _load_documents(self) -> None:
+        if self._doc_records is not None:
+            return
+        path = os.path.join(self.directory, DOCUMENTS_NAME)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except FileNotFoundError:
+            payload = {}
+        except ValueError as error:
+            raise IndexFormatError(
+                f"unreadable documents sidecar ({error})", path=path
+            ) from error
+        self._doc_records = dict(payload.get("documents", {}))
+        self._refcounts = {
+            key: int(value)
+            for key, value in payload.get("refcounts", {}).items()
+        }
+
+    def _write_documents(self) -> None:
+        if self._doc_records is None:
+            return
+        _atomic_write_json(
+            os.path.join(self.directory, DOCUMENTS_NAME),
+            {"documents": self._doc_records,
+             "refcounts": self._refcounts},
+        )
+
+    def save(self) -> None:
+        """Flush staged texts and persist manifest + sidecar."""
+        self.flush()
+        self._write_manifest()
+        self._write_documents()
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def batch(self):
+        """Context manager suspending per-mutation persistence: all
+        mutations inside stage together and flush as **one** segment
+        (with one manifest write) on exit — the bulk-build and
+        single-edit-delta discipline."""
+        import contextlib
+
+        @contextlib.contextmanager
+        def _batched():
+            previous, self._autoflush = self._autoflush, False
+            try:
+                yield self
+            finally:
+                self._autoflush = previous
+            if self._autoflush:
+                self.save()
+
+        return _batched()
+
+    def add_shard(self, corpus, splitter) -> int:
+        """Index one corpus shard as one segment; returns distinct
+        texts added."""
+        from repro.index.trigram import CorpusIndex
+
+        before = len(self)
+        previous, self._autoflush = self._autoflush, False
+        try:
+            for document in corpus:
+                self.add_document(
+                    CorpusIndex._chunk_texts(splitter, document.text),
+                    doc_id=getattr(document, "doc_id", None),
+                )
+        finally:
+            self._autoflush = previous
+        self.shards_indexed += 1
+        if self._autoflush:
+            self.save()
+        return len(self) - before
+
+    def add_document(
+        self, chunk_texts: Iterable[str], doc_id: Optional[str] = None
+    ) -> None:
+        """Index one document's chunk texts.
+
+        With a ``doc_id`` the document is *tracked*: a later
+        :meth:`update_document` or :meth:`remove_document` with the
+        same id maintains the index by delta.
+        """
+        texts = list(chunk_texts)
+        self._load_documents()
+        if doc_id is not None and doc_id in self._doc_records:
+            self.update_document(doc_id, texts)
+            return
+        self.documents += 1
+        self.chunk_instances += len(texts)
+        hexes: List[str] = []
+        for text in texts:
+            hexes.append(self._reference(text))
+        if doc_id is not None:
+            self._doc_records[doc_id] = hexes
+        self.version += 1
+        if self._autoflush:
+            self.save()
+
+    def _reference(self, text: str) -> str:
+        """Count one document reference to ``text``, staging it if the
+        index has never (or no longer) stored it.  Returns the digest
+        hex."""
+        digest = text_digest(text)
+        hexed = digest.hex()
+        counts = self._refcounts
+        counts[hexed] = counts.get(hexed, 0) + 1
+        if digest in self._tombstones:
+            # The payload is still in some segment; retiring is undone
+            # by dropping the tombstone, no re-indexing needed.
+            self._tombstones.discard(digest)
+            self.version += 1
+        elif (text not in self._staged
+                and self._segment_text_id(text) is None):
+            self._staged[text] = True
+            self.version += 1
+        return hexed
+
+    def update_document(
+        self, doc_id: str, chunk_texts: Iterable[str]
+    ) -> Dict[str, int]:
+        """Re-index one document after an edit, by delta.
+
+        Diffs the new chunk digests against the recorded ones: only
+        introduced texts are staged (flushed as a delta segment),
+        texts whose last document reference disappeared are
+        tombstoned.  Returns ``{"added": n, "removed": n}`` distinct-
+        text counts (both 0 for a no-op edit).
+        """
+        texts = list(chunk_texts)
+        self._load_documents()
+        record = self._doc_records.get(doc_id)
+        if record is None:
+            self.add_document(texts, doc_id=doc_id)
+            return {"added": len(set(texts)), "removed": 0}
+        old_distinct = set(record)
+        new_hexes = {text_digest(text).hex(): text for text in texts}
+        added = [hexed for hexed in new_hexes if hexed not in old_distinct]
+        removed = [hexed for hexed in old_distinct if hexed not in new_hexes]
+        for hexed in added:
+            self._reference(new_hexes[hexed])
+        for hexed in removed:
+            self._release(hexed)
+        self.chunk_instances += len(texts) - len(record)
+        self._doc_records[doc_id] = [
+            text_digest(text).hex() for text in texts
+        ]
+        self.version += 1
+        if self._autoflush:
+            self.save()
+        return {"added": len(added), "removed": len(removed)}
+
+    def _release(self, hexed: str) -> None:
+        counts = self._refcounts
+        remaining = counts.get(hexed, 0) - 1
+        if remaining > 0:
+            counts[hexed] = remaining
+            return
+        counts.pop(hexed, None)
+        digest = bytes.fromhex(hexed)
+        # Last reference gone: retire.  Staged-and-unflushed texts are
+        # simply dropped at flush; flushed ones get a tombstone.
+        self._tombstones.add(digest)
+        self.version += 1
+
+    def remove_document(self, doc_id: str) -> int:
+        """Forget a tracked document; returns distinct texts retired."""
+        self._load_documents()
+        record = self._doc_records.pop(doc_id, None)
+        if record is None:
+            raise KeyError(doc_id)
+        before = len(self._tombstones)
+        for hexed in set(record):
+            self._release(hexed)
+        self.documents -= 1
+        self.chunk_instances -= len(record)
+        self.version += 1
+        if self._autoflush:
+            self.save()
+        return len(self._tombstones) - before
+
+    def flush(self) -> Optional[str]:
+        """Write staged texts as one fresh (delta) segment; returns
+        the new segment's filename, or ``None`` if nothing to write."""
+        texts = [
+            text for text in self._staged
+            if text_digest(text) not in self._tombstones
+        ]
+        if not texts:
+            self._staged.clear()
+            return None
+        name = f"segment-{self._next_segment:06d}.ris"
+        self._next_segment += 1
+        write_segment(
+            os.path.join(self.directory, name),
+            texts,
+            splitter=self.splitter,
+        )
+        self._staged.clear()
+        segment = Segment(os.path.join(self.directory, name))
+        self._segments.append(segment)
+        self._segment_names.append(name)
+        self._recompute_bases()
+        self.generation += 1
+        self.version += 1
+        self._write_manifest()
+        return name
+
+    def compact(self) -> Dict[str, int]:
+        """Merge all segments, dropping tombstoned texts, into one.
+
+        Old segment files are unlinked after the new manifest lands;
+        readers that mapped them before the compact keep working (the
+        inode lives until their last close) and pick up the new
+        generation on :meth:`refresh`.  Returns a summary dict.
+        """
+        self.flush()
+        before_segments = len(self._segments)
+        before_tombstones = len(self._tombstones)
+
+        def _live_texts() -> Iterator[str]:
+            seen: Set[bytes] = set(self._tombstones)
+            for segment in self._segments:
+                for tid in range(len(segment)):
+                    raw = segment.text_bytes(tid)
+                    digest = text_digest(raw.decode("utf-8"))
+                    if digest in seen:
+                        continue
+                    seen.add(digest)
+                    yield raw.decode("utf-8")
+
+        name = f"segment-{self._next_segment:06d}.ris"
+        self._next_segment += 1
+        summary = write_segment(
+            os.path.join(self.directory, name),
+            _live_texts(),
+            splitter=self.splitter,
+        )
+        old_segments = self._segments
+        old_names = self._segment_names
+        self._segments = [Segment(os.path.join(self.directory, name))]
+        self._segment_names = [name]
+        self._recompute_bases()
+        self._tombstones.clear()
+        self.generation += 1
+        self.version += 1
+        self._write_manifest()
+        self._write_documents()
+        for segment, old_name in zip(old_segments, old_names):
+            segment.close()
+            try:
+                os.unlink(os.path.join(self.directory, old_name))
+            except FileNotFoundError:
+                pass
+        kernel_metrics().counter("index.compactions").inc()
+        return {
+            "segments_merged": before_segments,
+            "tombstones_dropped": before_tombstones,
+            "texts": summary["texts"],
+            "bytes": summary["bytes"],
+        }
+
+    def refresh(self) -> bool:
+        """Re-open if the directory advanced to a new generation
+        (another process flushed or compacted).  Returns whether
+        anything changed; the index keeps serving throughout."""
+        manifest_path = os.path.join(self.directory, MANIFEST_NAME)
+        try:
+            with open(manifest_path, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (FileNotFoundError, ValueError):
+            return False
+        if int(manifest.get("generation", 0)) == self.generation:
+            return False
+        old_segments = self._segments
+        self._segments = []
+        self._segment_names = []
+        self.splitter = manifest.get("splitter")
+        self._load_manifest(manifest)
+        self._doc_records = None
+        self._refcounts = None
+        for segment in old_segments:
+            segment.close()
+        return True
+
+    # ------------------------------------------------------------------
+    # Queries (the IndexFilter contract)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return (sum(len(segment) for segment in self._segments)
+                + len(self._staged))
+
+    def __contains__(self, text: str) -> bool:
+        return self.text_id(text) is not None
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def gram_count(self) -> int:
+        return sum(segment.gram_count for segment in self._segments)
+
+    @property
+    def tombstone_count(self) -> int:
+        return len(self._tombstones)
+
+    def _segment_text_id(self, text: str) -> Optional[int]:
+        for segment, base in zip(self._segments, self._bases):
+            local = segment.text_id(text)
+            if local is not None:
+                return base + local
+        return None
+
+    def text_id(self, text: str) -> Optional[int]:
+        """Global id of an indexed chunk text, or ``None``.
+
+        Tombstoned and merely-staged texts answer ``None``: the filter
+        then scans them exactly, which is sound regardless of what the
+        masks say about other texts.
+        """
+        if text_digest(text) in self._tombstones:
+            return None
+        return self._segment_text_id(text)
+
+    def candidates(self, factors: FactorSet) -> Optional[int]:
+        """Global candidate bitmask (per-segment masks shifted to
+        their bases).  Semantics identical to
+        :meth:`repro.index.trigram.CorpusIndex.candidates`."""
+        if not self._segments:
+            return None
+        masks: List[Optional[int]] = [
+            segment.candidates(factors) for segment in self._segments
+        ]
+        if all(mask is None for mask in masks):
+            return None
+        combined = 0
+        for segment, base, mask in zip(self._segments, self._bases,
+                                       masks):
+            if mask is None:
+                # This segment had no answerable condition (e.g. its
+                # every text passes the length bound): admit it whole.
+                mask = (1 << len(segment)) - 1
+            combined |= mask << base
+        return combined
+
+    def texts(self) -> Iterator[str]:
+        """Every queryable (non-tombstoned, flushed) text, in global
+        id order."""
+        for segment in self._segments:
+            for tid in range(len(segment)):
+                text = segment.text(tid)
+                if text_digest(text) not in self._tombstones:
+                    yield text
+
+    def describe(self) -> Dict[str, object]:
+        """Summary counters (the CLI's build/compact report)."""
+        return {
+            "format": self.format,
+            "splitter": self.splitter,
+            "directory": self.directory,
+            "generation": self.generation,
+            "documents": self.documents,
+            "chunk_instances": self.chunk_instances,
+            "distinct_texts": len(self),
+            "segments": self.segment_count,
+            "tombstones": len(self._tombstones),
+            "staged_texts": len(self._staged),
+            "shards_indexed": self.shards_indexed,
+            "mapped_bytes": sum(
+                segment.nbytes for segment in self._segments
+            ),
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap every segment (idempotent; queries then see an empty
+        index)."""
+        for segment in self._segments:
+            segment.close()
+        self._segments = []
+        self._segment_names = []
+        self._bases = []
+
+    def __enter__(self) -> "SegmentedIndex":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __reduce__(self) -> Tuple[object, Tuple[str]]:
+        # Pickle as a path: workers re-map the segments through the
+        # page cache instead of receiving serialized postings.
+        return (SegmentedIndex.open, (self.directory,))
+
+    def __repr__(self) -> str:
+        return (f"SegmentedIndex({self.directory!r}, "
+                f"{self.segment_count} segments, {len(self)} texts, "
+                f"generation={self.generation})")

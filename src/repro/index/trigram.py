@@ -34,11 +34,26 @@ under a plan that splits differently.
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Set
 
+from repro.errors import IndexFormatError
 from repro.index.factors import GRAM, FactorSet
 
 _FORMAT_VERSION = 1
+
+
+def grams_of(text: str) -> Set[str]:
+    """The distinct 1..``GRAM``-grams of a chunk text.
+
+    The posting vocabulary shared by the JSON index below and the
+    binary segment store (:mod:`repro.index.store`): both must index
+    exactly the grams :meth:`CorpusIndex.candidates` queries.
+    """
+    grams: Set[str] = set()
+    for size in range(1, GRAM + 1):
+        for start in range(len(text) - size + 1):
+            grams.add(text[start:start + size])
+    return grams
 
 
 class CorpusIndex:
@@ -48,6 +63,10 @@ class CorpusIndex:
     indexed chunks; lookups are by exact chunk text, so a mismatched
     splitter degrades to scan-mode filtering rather than wrong answers.
     """
+
+    #: Storage-format tag surfaced in ``explain()["index"]`` (the
+    #: binary store reports ``"binary-segments"``).
+    format = "json"
 
     def __init__(self, splitter: Optional[str] = None) -> None:
         self.splitter = splitter
@@ -132,12 +151,8 @@ class CorpusIndex:
         self._ids[text] = tid
         self._texts.append(text)
         bit = 1 << tid
-        grams = set()
-        for size in range(1, GRAM + 1):
-            for start in range(len(text) - size + 1):
-                grams.add(text[start:start + size])
         postings = self._postings
-        for gram in grams:
+        for gram in grams_of(text):
             postings[gram] = postings.get(gram, 0) | bit
         if len(text) < GRAM:
             self._short |= bit
@@ -160,6 +175,12 @@ class CorpusIndex:
 
     def gram_count(self) -> int:
         return len(self._postings)
+
+    @property
+    def segment_count(self) -> int:
+        """A JSON index is one monolithic 'segment' (API parity with
+        :class:`repro.index.store.SegmentedIndex`)."""
+        return 1
 
     def candidates(self, factors: FactorSet) -> Optional[int]:
         """Bitmask of indexed texts that *could* satisfy ``factors``.
@@ -208,6 +229,7 @@ class CorpusIndex:
     def describe(self) -> Dict[str, object]:
         """Summary counters (the CLI's build report)."""
         return {
+            "format": self.format,
             "splitter": self.splitter,
             "documents": self.documents,
             "chunk_instances": self.chunk_instances,
@@ -244,13 +266,28 @@ class CorpusIndex:
 
     @classmethod
     def load(cls, path: str) -> "CorpusIndex":
-        """Rebuild an index saved by :meth:`save`."""
+        """Rebuild an index saved by :meth:`save`.
+
+        Raises :class:`repro.errors.IndexFormatError` for files that
+        are not JSON corpus indexes (bad payload shape) or claim an
+        unsupported format version.
+        """
         with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
+            try:
+                payload = json.load(handle)
+            except ValueError as error:
+                raise IndexFormatError(
+                    f"not a JSON corpus index ({error})", path=path
+                ) from error
+        if not isinstance(payload, dict) or "postings" not in payload:
+            raise IndexFormatError(
+                "not a JSON corpus index (no postings payload)", path=path
+            )
         version = payload.get("version")
         if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported corpus-index format version {version!r}"
+            raise IndexFormatError(
+                f"unsupported corpus-index format version {version!r}",
+                path=path,
             )
         index = cls(splitter=payload.get("splitter"))
         index.documents = int(payload.get("documents", 0))
@@ -268,19 +305,36 @@ class CorpusIndex:
         return index
 
 
+#: Bits set per byte value, for linear-time mask decomposition.
+_BYTE_BITS = [
+    tuple(bit for bit in range(8) if value >> bit & 1)
+    for value in range(256)
+]
+
+
 def _mask_to_ids(mask: int) -> List[int]:
-    ids = []
-    tid = 0
-    while mask:
-        if mask & 1:
-            ids.append(tid)
-        mask >>= 1
-        tid += 1
+    """The set bit positions of ``mask``, in ascending order.
+
+    Byte-at-a-time over ``int.to_bytes`` — linear in the mask width,
+    where the shift-by-shift loop was quadratic (it rebuilt the big
+    int on every shift; visible on 100k-text indexes).
+    """
+    ids: List[int] = []
+    if mask:
+        raw = mask.to_bytes((mask.bit_length() + 7) // 8, "little")
+        for base, value in enumerate(raw):
+            if value:
+                offset = base * 8
+                ids.extend(offset + bit for bit in _BYTE_BITS[value])
     return ids
 
 
 def _ids_to_mask(ids: Sequence[int]) -> int:
-    mask = 0
+    """The bitmask with exactly ``ids`` set (linear, via a bytearray;
+    ``mask |= 1 << tid`` per id copies the whole big int each time)."""
+    if not ids:
+        return 0
+    raw = bytearray(max(ids) // 8 + 1)
     for tid in ids:
-        mask |= 1 << tid
-    return mask
+        raw[tid >> 3] |= 1 << (tid & 7)
+    return int.from_bytes(bytes(raw), "little")

@@ -155,22 +155,29 @@ class Query:
     def indexed(self, index=None) -> "Query":
         """Enable index-backed chunk prefiltering (:mod:`repro.index`).
 
-        With a prebuilt :class:`repro.index.CorpusIndex` the query's
-        engine answers "could this chunk match?" from posting lists;
-        with no argument an index over the target corpus is built
+        With a prebuilt index the query's engine answers "could this
+        chunk match?" from posting lists; accepted are a
+        :class:`repro.index.CorpusIndex`, a mmap-backed
+        :class:`repro.index.store.SegmentedIndex`, or a *path* to a
+        persisted index of either format (opened lazily via
+        :func:`repro.index.store.open_index` when :meth:`over` runs).
+        With no argument an index over the target corpus is built
         automatically when :meth:`over` runs (indexing cost paid once,
         on the first corpus this query sees).  Prefiltering never
         changes results: chunks are skipped only when the certified
         plan provably produces nothing on them, and a spanner with no
         extractable factors falls back to full evaluation.
         """
-        from repro.index import CorpusIndex
+        from repro.index import CorpusIndex, SegmentedIndex
 
-        if index is not None and not isinstance(index, CorpusIndex):
+        if (index is not None
+                and not isinstance(index, (str, CorpusIndex,
+                                           SegmentedIndex))):
             raise ReproError(
-                f"indexed() takes a repro.index.CorpusIndex (or no "
-                f"argument to auto-index on .over()), got "
-                f"{type(index).__name__}"
+                f"indexed() takes a repro.index.CorpusIndex, a "
+                f"repro.index.store.SegmentedIndex, a path to a "
+                f"persisted index, or no argument to auto-index on "
+                f".over(); got {type(index).__name__}"
             )
         return self._reconfigure(index=index if index is not None else True)
 
@@ -287,10 +294,19 @@ class Query:
             # plan will and index it once; subsequent .over() calls on
             # this query reuse the attached index.
             engine.attach_index(engine.build_index(corpus, program))
-        elif (self._index not in (None, True)
-              and engine.index is not self._index):
-            # A prebuilt index also reaches engines pinned via .using().
-            engine.attach_index(self._index)
+        elif self._index not in (None, True):
+            target, current = self._index, engine.index
+            if isinstance(target, str):
+                # A path: open once; later .over() calls recognize the
+                # already-attached index by its recorded source.
+                if (getattr(current, "directory", None) != target
+                        and getattr(current, "source_path", None)
+                        != target):
+                    engine.attach_index(target)
+            elif current is not target:
+                # A prebuilt index also reaches engines pinned via
+                # .using().
+                engine.attach_index(target)
         return ResultSet(engine, corpus, program, certified,
                          stats_before=stats_before)
 

@@ -113,6 +113,43 @@ def _worker_shm_status(_task: object = None) -> Tuple[int, int]:
     return os.getpid(), shm.attach_count()
 
 
+#: The worker-local segmented index (premapped pools only): opened by
+#: *path* in the initializer, so posting payloads reach workers
+#: through the page cache — never through pickle.
+_WORKER_INDEX = None
+
+
+def _init_worker_premap(initializer, base_arg, index_path: str) -> None:
+    """Pool initializer wrapper: base init, then map the index.
+
+    ``initializer``/``base_arg`` are one of the spanner initializers
+    above with its argument (segment name or pickled runner);
+    ``index_path`` is a :class:`repro.index.store.SegmentedIndex`
+    directory each worker opens itself — the open is counted in the
+    worker's process-global kernel metrics (``index.opens``,
+    ``index.segments_mapped``), which is how the lifecycle tests prove
+    postings were mapped, not shipped.
+    """
+    global _WORKER_INDEX
+    initializer(base_arg)
+    from repro.index.store import SegmentedIndex
+
+    _WORKER_INDEX = SegmentedIndex.open(index_path)
+
+
+def _worker_index_status(_task: object = None) -> Tuple[int, int, int]:
+    """Probe task: ``(pid, index opens, segments mapped)`` counted in
+    this worker process's kernel-metrics registry."""
+    from repro.obs.metrics import kernel_metrics
+
+    metrics = kernel_metrics()
+    return (
+        os.getpid(),
+        int(metrics.counter("index.opens").value),
+        int(metrics.counter("index.segments_mapped").value),
+    )
+
+
 def _evaluate_text(text: str) -> Set[SpanTuple]:
     return set(_WORKER_SPANNER.evaluate(text))
 

@@ -97,6 +97,20 @@ class _Job:
     enqueued: float = field(default_factory=time.monotonic)
 
 
+@dataclass
+class _Control:
+    """An engine-management operation, queued like a query.
+
+    Control work (index reopen, compaction pickup) must run on the
+    dispatcher thread — it touches the engine, and the dispatcher owns
+    the engine — so it rides the same admission queue as queries and
+    executes between them, never concurrently with one.
+    """
+
+    operation: object  # callable(engine) -> result
+    future: "Future[object]"
+
+
 class ExtractionService:
     """A long-lived, concurrent front end over one extraction engine.
 
@@ -188,7 +202,7 @@ class ExtractionService:
                     job = self._queue.get_nowait()
                 except queue.Empty:
                     break
-                if isinstance(job, _Job):
+                if isinstance(job, (_Job, _Control)):
                     job.future.set_exception(ServiceClosedError())
         if dispatcher is not None:
             self._queue.put(_SHUTDOWN)
@@ -278,6 +292,58 @@ class ExtractionService:
         future = self.submit(corpus, program, tenant, deadline)
         return await asyncio.wrap_future(future)
 
+    def reopen_index(self, path: Optional[str] = None) -> "Future[object]":
+        """Pick up index changes without restarting the service.
+
+        With ``path``, opens the index there (JSON file or binary
+        segment directory, via :func:`repro.index.store.open_index`)
+        and attaches it to the resident engine, closing the previously
+        attached mmap-backed index if it had one.  With no ``path``,
+        refreshes the currently attached
+        :class:`repro.index.store.SegmentedIndex` in place — after an
+        out-of-process :meth:`~repro.index.store.SegmentedIndex.
+        compact` or delta flush, the engine starts serving the new
+        generation from the next query (prefilter masks recompute
+        automatically off the index version).
+
+        Runs on the dispatcher thread between queries — never
+        concurrently with one — so in-flight queries finish against
+        the index they started with.  Returns a future resolving to a
+        report dict; raises :class:`ServiceOverloadedError` /
+        :class:`ServiceClosedError` like :meth:`submit`.
+        """
+        if self._closed:
+            raise ServiceClosedError()
+
+        def _reopen(engine) -> Dict[str, object]:
+            if path is not None:
+                from repro.index.store import open_index
+
+                previous = engine.index
+                engine.attach_index(open_index(path))
+                if previous is not None and hasattr(previous, "close"):
+                    previous.close()
+                return {"action": "attached", "path": path,
+                        "format": getattr(engine.index, "format",
+                                          "unknown")}
+            index = engine.index
+            if index is None or not hasattr(index, "refresh"):
+                return {"action": "noop",
+                        "reason": "no refreshable index attached"}
+            changed = index.refresh()
+            return {"action": "refreshed", "changed": changed,
+                    "generation": getattr(index, "generation", None),
+                    "segments": getattr(index, "segment_count", None)}
+
+        job = _Control(operation=_reopen, future=Future())
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            raise ServiceOverloadedError(self.max_queue) from None
+        if self._dispatcher is None:
+            self.start()
+        return job.future
+
     # ------------------------------------------------------------------
     # Dispatch (the engine-owning thread)
     # ------------------------------------------------------------------
@@ -288,7 +354,19 @@ class ExtractionService:
             if job is _SHUTDOWN:
                 break
             self._queue_depth.set(self._queue.qsize())
-            self._execute(job)
+            if isinstance(job, _Control):
+                self._execute_control(job)
+            else:
+                self._execute(job)
+
+    def _execute_control(self, job: _Control) -> None:
+        if job.future.cancelled():
+            return
+        job.future.set_running_or_notify_cancel()
+        try:
+            job.future.set_result(job.operation(self._engine))
+        except BaseException as error:  # report, don't kill dispatch
+            job.future.set_exception(error)
 
     def _execute(self, job: _Job) -> None:
         if job.future.cancelled():

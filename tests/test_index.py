@@ -369,8 +369,10 @@ class TestQueryIndexed:
         assert results.stats().chunks_pruned > 0
 
     def test_indexed_rejects_non_index(self):
+        # Paths (str) are accepted since the binary store landed;
+        # other non-index objects still get the typed rejection.
         with pytest.raises(ReproError):
-            Q(self.spanner()).indexed("corpus.idx")
+            Q(self.spanner()).indexed(42)
 
     def test_explain_carries_index_block(self):
         query = Q(self.spanner()).split_by("sentences").indexed()

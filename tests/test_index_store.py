@@ -1,0 +1,667 @@
+"""Tests for the binary index storage engine
+(:mod:`repro.index.store`): segment format round-trips, the
+JSON/binary/fresh equivalence property, mmap lifecycle (leak-freedom,
+readers surviving compaction), edit-delta soundness against full
+rebuilds, and the satellites that landed with it (typed load errors,
+LRU incremental cache, explain() surfacing, CLI subcommands)."""
+
+import json
+import os
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.engine import Corpus, ExtractionEngine, Program
+from repro.errors import IndexFormatError, ReproError
+from repro.index import (
+    CorpusIndex,
+    SegmentedIndex,
+    factors_of,
+    open_index,
+)
+from repro.index.store import Segment, write_segment
+from repro.query import Q, Spanner, Splitter
+from repro.runtime import IncrementalExtractor, RegisteredSplitter
+from repro.runtime.fast import FastSeparatorSplitter
+from repro.runtime.incremental import diff_chunks
+from repro.splitters.builders import separator_splitter
+
+ALPHA = frozenset("abcdefgh qz.")
+
+QZ_PATTERN = (".*(\\.| )y{qz+}(\\.| ).*|y{qz+}(\\.| ).*"
+              "|.*(\\.| )y{qz+}|y{qz+}")
+
+CORPUS_TEXTS = [
+    "ab qz cd. ef gh ab. ab ab ab.",
+    "cd cd cd. ef ef ef.",
+    "qzz ab. gh qz.",
+    "",
+    "abcd efgh.",
+]
+
+
+def qz_spanner():
+    return Spanner.regex(QZ_PATTERN, ALPHA, name="qz")
+
+
+def sentence_registry():
+    return [
+        RegisteredSplitter(
+            "sentences", separator_splitter(ALPHA, "."),
+            priority=1, executor=FastSeparatorSplitter("."),
+        ),
+    ]
+
+
+def sentence_splitter():
+    return Splitter.named("sentences", ALPHA)
+
+
+def admitted_texts(index, factors):
+    """The set of texts an index's candidate mask admits (id-order
+    agnostic, so JSON and binary layouts compare)."""
+    mask = index.candidates(factors)
+    texts = list(index.texts()) if hasattr(index, "texts") \
+        else list(index._texts)
+    if mask is None:
+        return None
+    return {text for tid, text in enumerate(texts) if (mask >> tid) & 1}
+
+
+# ----------------------------------------------------------------------
+# Segment format
+# ----------------------------------------------------------------------
+
+
+class TestSegmentFormat:
+    def test_round_trip_texts_and_lookups(self, tmp_path):
+        path = str(tmp_path / "seg.ris")
+        texts = ["ab qz cd", "", "qq", "ef gh", "ab qz cd", "zz. ab"]
+        summary = write_segment(path, texts, splitter="sentences")
+        assert summary["texts"] == len(set(texts))
+        with Segment(path) as segment:
+            assert sorted(segment.texts()) == sorted(set(texts))
+            for text in set(texts):
+                tid = segment.text_id(text)
+                assert segment.text(tid) == text
+                assert segment.text_length(tid) == len(text)
+            assert segment.text_id("not indexed") is None
+            segment.verify()
+
+    def test_posting_masks_match_json_index(self, tmp_path):
+        path = str(tmp_path / "seg.ris")
+        texts = sorted({"ab qz cd", "qq", "ef gh qz", "aaaa", "."})
+        write_segment(path, texts)
+        reference = CorpusIndex()
+        with Segment(path) as segment:
+            # The JSON index over the same sorted texts has identical
+            # text ids, so posting masks must agree bit for bit.
+            for text in segment.texts():
+                reference.add_text(text)
+            for gram in ["a", "q", "qz", " qz", "ab ", "zz", "xyz"]:
+                assert segment.posting_mask(gram) == \
+                    reference._postings.get(gram, 0), gram
+            assert segment.short_mask == reference._short
+
+    def test_bitmap_and_varint_encodings_both_exercised(self, tmp_path):
+        path = str(tmp_path / "seg.ris")
+        # 'a' appears everywhere (dense -> bitmap); each suffix gram is
+        # rare (sparse -> varint).
+        texts = [f"aaaa{suffix}" for suffix in
+                 "bb cc dd ee ff gg hh".split()] * 2
+        summary = write_segment(path, texts)
+        assert summary["bitmap_postings"] > 0
+        assert summary["varint_postings"] > 0
+        with Segment(path) as segment:
+            for text in set(texts):
+                tid = segment.text_id(text)
+                for gram in {text[i:i + 2] for i in range(len(text) - 1)}:
+                    assert (segment.posting_mask(gram) >> tid) & 1
+
+    def test_open_is_lazy_header_only(self, tmp_path):
+        path = str(tmp_path / "seg.ris")
+        write_segment(path, [f"ab qz {n:04d}" for n in range(500)])
+        segment = Segment(path)
+        # No posting or text materialized yet.
+        assert segment._masks == {}
+        assert len(segment) == 500
+        segment.close()
+
+    def test_truncated_and_corrupt_files_raise_typed(self, tmp_path):
+        path = str(tmp_path / "seg.ris")
+        write_segment(path, ["ab qz cd"])
+        raw = open(path, "rb").read()
+        truncated = str(tmp_path / "trunc.ris")
+        with open(truncated, "wb") as handle:
+            handle.write(raw[:len(raw) // 2])
+        with pytest.raises(IndexFormatError):
+            Segment(truncated)
+        bad_magic = str(tmp_path / "magic.ris")
+        with open(bad_magic, "wb") as handle:
+            handle.write(b"XXXX" + raw[4:])
+        with pytest.raises(IndexFormatError):
+            Segment(bad_magic)
+        empty = str(tmp_path / "empty.ris")
+        open(empty, "wb").close()
+        with pytest.raises(IndexFormatError):
+            Segment(empty)
+
+    def test_atomic_write_leaves_no_temp_file(self, tmp_path):
+        path = str(tmp_path / "seg.ris")
+        write_segment(path, ["ab", "cd"])
+        assert os.listdir(tmp_path) == ["seg.ris"]
+
+
+# ----------------------------------------------------------------------
+# Round-trip equivalence property (JSON = binary = fresh)
+# ----------------------------------------------------------------------
+
+
+class TestRoundTripEquivalence:
+    @given(st.lists(
+        st.text(alphabet=sorted(ALPHA), min_size=0, max_size=30),
+        min_size=0, max_size=8,
+    ))
+    def test_candidate_masks_agree_across_formats(self, tmp_path_factory,
+                                                  documents):
+        tmp_path = tmp_path_factory.mktemp("store")
+        corpus = Corpus.from_texts(documents)
+        splitter = sentence_splitter()
+        fresh = CorpusIndex.build(corpus, splitter)
+        json_path = str(tmp_path / "corpus.idx")
+        fresh.save(json_path)
+        loaded = CorpusIndex.load(json_path)
+        binary = SegmentedIndex.build(corpus, splitter,
+                                      str(tmp_path / "corpus.segs"))
+        reopened = open_index(str(tmp_path / "corpus.segs"))
+        factors = factors_of(qz_spanner().vsa())
+        expected = admitted_texts(fresh, factors)
+        for index in (loaded, binary, reopened):
+            assert admitted_texts(index, factors) == expected
+        reopened.close()
+        binary.close()
+
+    def test_extraction_results_identical_across_formats(self, tmp_path):
+        splitter = sentence_splitter()
+        corpus = Corpus.from_texts(CORPUS_TEXTS)
+        plain = Q(qz_spanner()).split_by("sentences") \
+            .over(CORPUS_TEXTS).materialize()
+        json_index = CorpusIndex.build(corpus, splitter)
+        json_path = str(tmp_path / "corpus.idx")
+        json_index.save(json_path)
+        binary = SegmentedIndex.build(corpus, splitter,
+                                      str(tmp_path / "corpus.segs"))
+        binary.close()
+        for index in (json_path, str(tmp_path / "corpus.segs")):
+            query = Q(qz_spanner()).split_by("sentences").indexed(index)
+            results = query.over(CORPUS_TEXTS)
+            assert results.materialize() == plain
+            assert results.stats().chunks_pruned > 0
+            engine_index = query.engine().index
+            if hasattr(engine_index, "close"):
+                engine_index.close()
+
+    def test_open_index_dispatches_by_layout(self, tmp_path):
+        corpus = Corpus.from_texts(CORPUS_TEXTS)
+        splitter = sentence_splitter()
+        json_path = str(tmp_path / "corpus.idx")
+        CorpusIndex.build(corpus, splitter).save(json_path)
+        assert open_index(json_path).format == "json"
+        segs = str(tmp_path / "corpus.segs")
+        SegmentedIndex.build(corpus, splitter, segs).close()
+        index = open_index(segs)
+        assert index.format == "binary-segments"
+        index.close()
+        with pytest.raises(IndexFormatError):
+            open_index(str(tmp_path / "nowhere"))
+        empty_dir = tmp_path / "plain-dir"
+        empty_dir.mkdir()
+        with pytest.raises(IndexFormatError):
+            open_index(str(empty_dir))
+
+
+# ----------------------------------------------------------------------
+# mmap lifecycle
+# ----------------------------------------------------------------------
+
+
+class TestMmapLifecycle:
+    def build(self, tmp_path):
+        return SegmentedIndex.build(
+            Corpus.from_texts(CORPUS_TEXTS), sentence_splitter(),
+            str(tmp_path / "corpus.segs"),
+        )
+
+    def test_close_releases_mappings_and_unlink_succeeds(self, tmp_path):
+        index = self.build(tmp_path)
+        factors = factors_of(qz_spanner().vsa())
+        assert index.candidates(factors) is not None
+        index.close()
+        assert index.candidates(factors) is None
+        # Every file (segments included) is deletable: nothing holds a
+        # buffer export over the closed mappings.
+        for name in os.listdir(tmp_path / "corpus.segs"):
+            os.unlink(tmp_path / "corpus.segs" / name)
+
+    def test_double_close_is_idempotent(self, tmp_path):
+        index = self.build(tmp_path)
+        index.close()
+        index.close()
+        segment_path = str(tmp_path / "seg.ris")
+        write_segment(segment_path, ["ab"])
+        segment = Segment(segment_path)
+        segment.close()
+        segment.close()
+        assert segment.closed
+
+    def test_concurrent_reader_survives_compaction(self, tmp_path):
+        index = self.build(tmp_path)
+        reader = SegmentedIndex.open(str(tmp_path / "corpus.segs"))
+        factors = factors_of(qz_spanner().vsa())
+        before = admitted_texts(reader, factors)
+        index.update_document("doc-0002", ["replacement qz."])
+        index.compact()
+        # The reader still serves its (pre-compact) generation from the
+        # unlinked inodes, then refreshes onto the new one.
+        assert admitted_texts(reader, factors) == before
+        assert reader.refresh() is True
+        assert reader.generation == index.generation
+        assert admitted_texts(reader, factors) \
+            == admitted_texts(index, factors)
+        reader.close()
+        index.close()
+
+    def test_compact_drops_tombstones_and_old_segments(self, tmp_path):
+        index = self.build(tmp_path)
+        index.update_document("doc-0000", ["fresh qz text."])
+        assert index.segment_count > 1
+        assert index.tombstone_count > 0
+        summary = index.compact()
+        assert summary["tombstones_dropped"] > 0
+        assert index.segment_count == 1
+        assert index.tombstone_count == 0
+        on_disk = [name for name in os.listdir(tmp_path / "corpus.segs")
+                   if name.endswith(".ris")]
+        assert len(on_disk) == 1
+        index.close()
+
+    def test_pickle_ships_path_not_postings(self, tmp_path):
+        import pickle
+
+        index = self.build(tmp_path)
+        blob = pickle.dumps(index)
+        assert len(blob) < 500  # a path, not posting payloads
+        clone = pickle.loads(blob)
+        factors = factors_of(qz_spanner().vsa())
+        assert admitted_texts(clone, factors) \
+            == admitted_texts(index, factors)
+        clone.close()
+        index.close()
+
+    def test_workers_premap_index_by_path(self, tmp_path):
+        index = self.build(tmp_path)
+        engine = ExtractionEngine(sentence_registry(), workers=2,
+                                  corpus_index=index)
+        program = Program.from_query(qz_spanner())
+        try:
+            baseline = ExtractionEngine(sentence_registry())
+            expected = baseline.run(
+                Corpus.from_texts(CORPUS_TEXTS), program).by_document
+            result = engine.run(Corpus.from_texts(CORPUS_TEXTS), program)
+            assert result.by_document == expected
+            statuses = engine.scheduler.worker_index_status()
+            assert statuses, "pool should be live after a run"
+            for _pid, opens, segments in statuses:
+                assert opens >= 1
+                assert segments >= index.segment_count
+        finally:
+            engine.close()
+            index.close()
+
+
+# ----------------------------------------------------------------------
+# Edit-delta soundness
+# ----------------------------------------------------------------------
+
+
+class TestEditDelta:
+    @staticmethod
+    def admits_via(index, factors, text):
+        """Mirror :meth:`IndexFilter._admits_uncached`: the sound
+        admit decision an engine would make for ``text`` over this
+        index (tombstoned/unseen texts fall back to the exact scan)."""
+        mask = index.candidates(factors)
+        tid = index.text_id(text)
+        if (mask is not None and tid is not None
+                and not (mask >> tid) & 1
+                and factors.alphabet.issuperset(text)):
+            return False
+        return factors.admits(text)
+
+    def test_edit_equals_full_rebuild(self, tmp_path):
+        splitter = sentence_splitter()
+        edited = list(CORPUS_TEXTS)
+        edited[0] = "ab qz cd. ef gh qz. ab ab ab."  # one sentence edited
+        index = SegmentedIndex.build(
+            Corpus.from_texts(CORPUS_TEXTS), splitter,
+            str(tmp_path / "live.segs"),
+        )
+        index.update_document("doc-0000", splitter.chunks(edited[0]))
+        rebuilt = SegmentedIndex.build(
+            Corpus.from_texts(edited), splitter,
+            str(tmp_path / "rebuilt.segs"),
+        )
+        factors = factors_of(qz_spanner().vsa())
+        # For every chunk of the edited corpus, the delta-maintained
+        # index makes the same (sound) admit decision a full rebuild
+        # makes — extraction results are therefore identical.
+        for document in edited:
+            for chunk in splitter.chunks(document):
+                assert self.admits_via(index, factors, chunk) \
+                    == self.admits_via(rebuilt, factors, chunk), chunk
+        # The dropped sentence is tombstoned (scan fallback), the new
+        # one indexed.
+        assert index.text_id("ef gh ab.") is None
+        assert index.text_id("ef gh qz.") is not None
+        assert index.tombstone_count >= 1
+        index.close()
+        rebuilt.close()
+
+    def test_run_delta_reevaluates_only_changed_chunks(self, tmp_path):
+        splitter = sentence_splitter()
+        engine = ExtractionEngine(sentence_registry())
+        program = Program.from_query(qz_spanner())
+        index = engine.build_index(
+            Corpus.from_texts(CORPUS_TEXTS), program,
+            format="binary", path=str(tmp_path / "corpus.segs"),
+        )
+        engine.attach_index(index)
+        engine.run(Corpus.from_texts(CORPUS_TEXTS), program)
+        edited = "ab qz cd. ef gh qz. ab ab ab."
+        delta_corpus = Corpus.from_mapping({"doc-0000": edited})
+        result = engine.run_delta(delta_corpus, program)
+        # Only the edited sentence misses the chunk cache.
+        assert result.stats.chunk_cache_misses == 1
+        baseline = ExtractionEngine(sentence_registry())
+        expected = baseline.run(delta_corpus, program).by_document
+        assert result.by_document == expected
+        # And the index was maintained: one delta segment, tombstone
+        # for the dropped sentence.
+        assert index.tombstone_count >= 1
+        # The registry's fast splitter keeps the leading space and
+        # drops the separator, unlike Splitter.named("sentences").
+        assert index.text_id(" ef gh qz") is not None
+        engine.close()
+        index.close()
+
+    def test_run_delta_requires_delta_maintainable_index(self):
+        engine = ExtractionEngine(sentence_registry())
+        with pytest.raises(ValueError):
+            engine.run_delta(Corpus.from_texts(["ab."]),
+                             Program.from_query(qz_spanner()))
+
+    def test_remove_document_tombstones_and_refcounts(self, tmp_path):
+        index = SegmentedIndex.create(str(tmp_path / "segs"))
+        index.add_document(["shared qz", "only one"], doc_id="one")
+        index.add_document(["shared qz", "only two"], doc_id="two")
+        index.remove_document("one")
+        # "shared qz" still referenced by doc two: not tombstoned.
+        assert index.text_id("shared qz") is not None
+        assert index.text_id("only one") is None
+        with pytest.raises(KeyError):
+            index.remove_document("one")
+        index.close()
+
+    def test_diff_chunks_multiset_semantics(self):
+        added, removed = diff_chunks(("a", "b", "a"), ("a", "c", "c"))
+        assert added == ("c", "c")
+        # removed comes back in first-occurrence order of the old
+        # chunking: the surplus "a" is seen before "b".
+        assert removed == ("a", "b")
+        assert diff_chunks(("a",), ("a",)) == ((), ())
+
+    def test_incremental_extractor_maintains_index(self, tmp_path):
+        index = SegmentedIndex.create(str(tmp_path / "segs"),
+                                      splitter="sentences")
+        extractor = IncrementalExtractor(
+            qz_spanner().executable,
+            FastSeparatorSplitter("."),
+            index=index,
+        )
+        extractor.evaluate("ab qz. cd ef.", doc_id="wiki")
+        assert index.text_id("ab qz") is not None
+        extractor.evaluate("ab qz. gh qz.", doc_id="wiki")
+        assert index.text_id(" cd ef") is None  # edited away
+        assert index.text_id(" gh qz") is not None
+        index.close()
+
+    def test_incremental_extractor_rejects_non_index(self):
+        with pytest.raises(ValueError):
+            IncrementalExtractor(
+                qz_spanner().executable, FastSeparatorSplitter("."),
+                index=object(),
+            )
+
+
+# ----------------------------------------------------------------------
+# Satellites
+# ----------------------------------------------------------------------
+
+
+class TestLRUEviction:
+    def test_hits_refresh_recency(self):
+        extractor = IncrementalExtractor(
+            qz_spanner().executable, FastSeparatorSplitter("."),
+            cache_limit=2,
+        )
+        extractor.evaluate("aa. bb.")       # caches "aa", " bb"
+        extractor.evaluate("aa. cc.")       # hit "aa"; evict must be " bb"
+        assert "aa" in extractor._cache
+        assert " bb" not in extractor._cache
+        assert " cc" in extractor._cache
+        before = extractor.chunks_evaluated
+        extractor.evaluate("aa.")
+        assert extractor.chunks_evaluated == before  # still cached
+
+    def test_fifo_would_have_evicted_the_hot_chunk(self):
+        # Regression shape: under the old FIFO policy the first-inserted
+        # chunk was evicted even while hot.
+        extractor = IncrementalExtractor(
+            qz_spanner().executable, FastSeparatorSplitter("."),
+            cache_limit=3,
+        )
+        extractor.evaluate("aa. bb. cc.")
+        extractor.evaluate("aa. dd.")       # touch aa, insert " dd"
+        assert "aa" in extractor._cache     # FIFO would have dropped it
+
+
+class TestTypedErrors:
+    def test_json_load_raises_index_format_error(self, tmp_path):
+        not_json = tmp_path / "bad.idx"
+        not_json.write_text("definitely not json {")
+        with pytest.raises(IndexFormatError):
+            CorpusIndex.load(str(not_json))
+        wrong_shape = tmp_path / "shape.idx"
+        wrong_shape.write_text(json.dumps(["a", "list"]))
+        with pytest.raises(IndexFormatError):
+            CorpusIndex.load(str(wrong_shape))
+        wrong_version = tmp_path / "version.idx"
+        wrong_version.write_text(json.dumps(
+            {"version": 99, "texts": [], "postings": {}}))
+        with pytest.raises(IndexFormatError) as info:
+            CorpusIndex.load(str(wrong_version))
+        # Still a ValueError (the historical type) and a ReproError.
+        assert isinstance(info.value, ValueError)
+        assert isinstance(info.value, ReproError)
+        assert str(wrong_version) in str(info.value)
+
+    def test_manifest_errors_are_typed(self, tmp_path):
+        directory = tmp_path / "segs"
+        directory.mkdir()
+        with pytest.raises(IndexFormatError):
+            SegmentedIndex.open(str(directory))
+        (directory / "MANIFEST.json").write_text("{broken")
+        with pytest.raises(IndexFormatError):
+            SegmentedIndex.open(str(directory))
+        (directory / "MANIFEST.json").write_text(
+            json.dumps({"format": "something-else"}))
+        with pytest.raises(IndexFormatError):
+            SegmentedIndex.open(str(directory))
+
+    def test_splitter_fingerprint_mismatch_rejected(self, tmp_path):
+        index = SegmentedIndex.build(
+            Corpus.from_texts(CORPUS_TEXTS), sentence_splitter(),
+            str(tmp_path / "segs"),
+        )
+        index.close()
+        manifest_path = tmp_path / "segs" / "MANIFEST.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["splitter"] = "tokens"
+        manifest["splitter_fingerprint"] = "0123456789abcdef"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(IndexFormatError):
+            SegmentedIndex.open(str(tmp_path / "segs"))
+
+
+class TestExplainSurface:
+    def test_explain_reports_format_and_segments(self, tmp_path):
+        segs = str(tmp_path / "corpus.segs")
+        SegmentedIndex.build(Corpus.from_texts(CORPUS_TEXTS),
+                             sentence_splitter(), segs).close()
+        query = Q(qz_spanner()).split_by("sentences").indexed(segs)
+        results = query.over(CORPUS_TEXTS)
+        results.materialize()
+        report = results.explain()["index"]
+        assert report["index_format"] == "binary-segments"
+        assert report["index_segments"] >= 1
+        query.engine().index.close()
+
+    def test_explain_reports_json_format(self, tmp_path):
+        index = CorpusIndex.build(Corpus.from_texts(CORPUS_TEXTS),
+                                  sentence_splitter())
+        query = Q(qz_spanner()).split_by("sentences").indexed(index)
+        results = query.over(CORPUS_TEXTS)
+        results.materialize()
+        report = results.explain()["index"]
+        assert report["index_format"] == "json"
+        assert report["index_segments"] == 1
+
+
+class TestCLI:
+    def run_main(self, argv, capsys):
+        from repro.__main__ import main
+
+        code = main(argv)
+        return code, capsys.readouterr().out
+
+    def test_index_build_binary_compact_update(self, tmp_path, capsys):
+        doc = tmp_path / "doc.txt"
+        doc.write_text("ab qz cd. ef gh ab.")
+        segs = str(tmp_path / "corpus.segs")
+        code, out = self.run_main(
+            ["index", "--alphabet", "abcdefgh qz.", "--splitter",
+             "sentences", "--file", str(doc), "--format", "binary",
+             "--output", segs],
+            capsys,
+        )
+        assert code == 0
+        assert "binary-segments" in out
+        doc.write_text("ab qz cd. ef gh qz.")
+        code, out = self.run_main(
+            ["index-update", "--index", segs, "--alphabet",
+             "abcdefgh qz.", "--file", str(doc)],
+            capsys,
+        )
+        assert code == 0
+        assert "+1 -1" in out
+        code, out = self.run_main(
+            ["index-compact", "--index", segs], capsys,
+        )
+        assert code == 0
+        assert "compacted index" in out
+        index = SegmentedIndex.open(segs)
+        assert index.segment_count == 1
+        assert index.tombstone_count == 0
+        index.close()
+
+    def test_engine_accepts_binary_index_path(self, tmp_path, capsys):
+        doc = tmp_path / "doc.txt"
+        doc.write_text("ab qz cd. ef gh ab.")
+        segs = str(tmp_path / "corpus.segs")
+        code, _out = self.run_main(
+            ["index", "--alphabet", "abcdefgh qz.", "--splitter",
+             "sentences", "--file", str(doc), "--format", "binary",
+             "--output", segs],
+            capsys,
+        )
+        assert code == 0
+        code, out = self.run_main(
+            ["engine", "--pattern", QZ_PATTERN, "--alphabet",
+             "abcdefgh qz.", "--splitters", "sentences", "--file",
+             str(doc), "--index", segs],
+            capsys,
+        )
+        assert code == 0
+        assert "index prefilter: indexed" in out
+
+    def test_index_binary_requires_output(self, tmp_path, capsys):
+        code = __import__("repro.__main__", fromlist=["main"]).main(
+            ["index", "--alphabet", "ab .", "--format", "binary",
+             "--text", "ab."]
+        )
+        assert code == 2
+
+
+class TestServiceReopen:
+    def test_reopen_refreshes_compacted_index(self, tmp_path):
+        from repro.serve import ExtractionService
+
+        segs = str(tmp_path / "corpus.segs")
+        SegmentedIndex.build(Corpus.from_texts(CORPUS_TEXTS),
+                             sentence_splitter(), segs).close()
+        engine = ExtractionEngine(sentence_registry(),
+                                  corpus_index=segs)
+        program = Program.from_query(qz_spanner())
+        with ExtractionService(engine, program=program) as service:
+            first = service.extract(CORPUS_TEXTS)
+            # Another process edits and compacts the index directory.
+            writer = SegmentedIndex.open(segs)
+            writer.update_document("doc-0002", ["gh qz."])
+            writer.compact()
+            writer.close()
+            report = service.reopen_index().result(timeout=30)
+            assert report["action"] == "refreshed"
+            assert report["changed"] is True
+            assert report["segments"] == 1
+            second = service.extract(CORPUS_TEXTS)
+            assert first.by_document.keys() == second.by_document.keys()
+            engine.index.close()
+
+    def test_reopen_with_path_swaps_index(self, tmp_path):
+        from repro.serve import ExtractionService
+
+        first_dir = str(tmp_path / "first.segs")
+        second_dir = str(tmp_path / "second.segs")
+        SegmentedIndex.build(Corpus.from_texts(CORPUS_TEXTS),
+                             sentence_splitter(), first_dir).close()
+        SegmentedIndex.build(Corpus.from_texts(CORPUS_TEXTS),
+                             sentence_splitter(), second_dir).close()
+        engine = ExtractionEngine(sentence_registry(),
+                                  corpus_index=first_dir)
+        program = Program.from_query(qz_spanner())
+        with ExtractionService(engine, program=program) as service:
+            report = service.reopen_index(second_dir).result(timeout=30)
+            assert report["action"] == "attached"
+            assert report["format"] == "binary-segments"
+            assert engine.index.directory == second_dir
+            engine.index.close()
+
+    def test_reopen_without_index_is_noop(self):
+        from repro.serve import ExtractionService
+
+        engine = ExtractionEngine(sentence_registry())
+        program = Program.from_query(qz_spanner())
+        with ExtractionService(engine, program=program) as service:
+            report = service.reopen_index().result(timeout=30)
+            assert report["action"] == "noop"
