@@ -5,7 +5,7 @@ with open("README.md", encoding="utf-8") as handle:
 
 setup(
     name="repro-split-correctness",
-    version="1.4.0",
+    version="1.5.0",
     description=(
         "Split-correctness in information extraction (PODS 2019): "
         "document spanners, splitters, decision procedures, and a "

@@ -234,6 +234,11 @@ def serve_command(args) -> int:
 
     try:
         query = _build_query(args)
+        if args.flight:
+            query = query.recorded(
+                capacity=args.flight,
+                slow_ms=args.slow_ms,
+            )
         service = query.serve(
             max_queue=args.max_queue,
             default_deadline=(args.default_deadline_ms / 1000.0
@@ -242,6 +247,16 @@ def serve_command(args) -> int:
     except (ReproError, ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+    if args.log:
+        from repro.obs.log import configure_event_log
+
+        try:
+            configure_event_log(path=args.log)
+        except OSError as error:
+            print(f"error: cannot open event log {args.log!r}: "
+                  f"{error}", file=sys.stderr)
+            return 2
 
     default_alphabet = frozenset(args.alphabet)
 
@@ -482,6 +497,22 @@ def main(argv=None) -> int:
         "--default-deadline-ms", type=float, default=None,
         help="deadline applied to requests without their own "
              "(missed deadlines get 504)",
+    )
+    serve_parser.add_argument(
+        "--log", default=None, metavar="FILE",
+        help="append structured JSON event-log lines to FILE "
+             "(admissions, completions, rejections, deadline misses)",
+    )
+    serve_parser.add_argument(
+        "--flight", type=int, default=0, metavar="N",
+        help="retain the last N completed queries in the flight "
+             "recorder (serves GET /debug/queries; 0 = off)",
+    )
+    serve_parser.add_argument(
+        "--slow-ms", type=float, default=None, metavar="T",
+        help="keep queries slower than T milliseconds (and every "
+             "deadline miss) in the slow-query log with full span "
+             "trees (GET /debug/slow)",
     )
     index_parser = subparsers.add_parser(
         "index", help="build a persistent corpus index (repro.index)"

@@ -169,6 +169,9 @@ class ShmRegistry:
         metrics = kernel_metrics()
         metrics.counter("kernel.shm_published").inc()
         metrics.counter("kernel.shm_bytes").inc(len(image))
+        from repro.obs.log import event_log
+
+        event_log().emit("shm.publish", segment=name, bytes=len(image))
         return published
 
     def unlink(self, name: str) -> None:
@@ -176,6 +179,12 @@ class ShmRegistry:
         published = self._published.pop(name, None)
         if published is not None:
             published.unlink()
+            try:
+                from repro.obs.log import event_log
+
+                event_log().emit("shm.unlink", segment=name)
+            except Exception:  # may run from the atexit sweep
+                pass
 
     def unlink_all(self) -> None:
         """Unlink everything still published (the ``atexit`` sweep)."""

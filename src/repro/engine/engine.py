@@ -37,6 +37,7 @@ from typing import (
 )
 
 from repro.core.spans import Span, SpanTuple, whole_span
+from repro.obs.log import event_log
 from repro.obs.metrics import Metrics
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.executor import SpannerLike, splitter_spans
@@ -318,6 +319,12 @@ class ExtractionEngine:
             # A fresh certificate lowered its split spanner onto the
             # compiled kernel (at most once); replays never re-lower.
             self._artifacts_compiled.inc(certified.artifacts_compiled)
+            event_log().emit(
+                "engine.certify", program=program.name,
+                mode=certified.plan.mode,
+                splitter=certified.splitter_name,
+                seconds=elapsed,
+            )
         return certified
 
     def runner_for(
@@ -395,6 +402,11 @@ class ExtractionEngine:
         self._filters.clear()
         self.scheduler.premap_index(
             getattr(index, "directory", None)
+        )
+        event_log().emit(
+            "engine.index.attach",
+            directory=getattr(index, "directory", None),
+            splitter=getattr(index, "splitter", None),
         )
 
     def build_index(self, corpus: CorpusLike, program: ProgramLike,
@@ -675,6 +687,34 @@ class ExtractionEngine:
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+
+    def enable_tracing(self, tracer: Optional[Tracer] = None) -> Tracer:
+        """Install (or switch on) an enabled tracer engine-wide.
+
+        Gives the engine, its planner and its scheduler one shared
+        enabled :class:`Tracer` — ``tracer`` if provided, the current
+        one if it is already a private enabled/enableable instance, or
+        a fresh ``Tracer()`` when the engine still holds the shared
+        :data:`NULL_TRACER` (which must never be mutated: other
+        engines share it).  The scheduler notices the mode change at
+        its next pool build, so worker-side span collection follows
+        automatically.  Returns the active tracer.  This is how a
+        flight recorder with ``capture_spans=True`` turns a previously
+        untraced engine into one producing per-query span trees.
+        """
+        if tracer is None:
+            tracer = (Tracer() if self.tracer is NULL_TRACER
+                      else self.tracer)
+        if tracer is NULL_TRACER:
+            raise ValueError(
+                "refusing to enable the shared NULL_TRACER; pass a "
+                "private Tracer instance instead"
+            )
+        tracer.enabled = True
+        self.tracer = tracer
+        self.planner.tracer = tracer
+        self.scheduler.tracer = tracer
+        return tracer
 
     def close(self) -> None:
         """Shut down the scheduler's worker pool (idempotent).

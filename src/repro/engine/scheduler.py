@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.spans import Span, SpanTuple
+from repro.obs.log import event_log
 from repro.obs.metrics import Metrics
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.executor import (
@@ -165,6 +166,11 @@ class Scheduler:
         self._pool_runner = runner
         self._pool_traced = traced
         self._pool_premap = self._premap_path
+        event_log().emit(
+            "engine.pool.start", workers=self.workers, traced=traced,
+            shm=segment.name if segment is not None else None,
+            premap=self._premap_path,
+        )
         return self._pool
 
     def _publish_shm(self, runner: SpannerLike):
@@ -243,6 +249,7 @@ class Scheduler:
             self._pool_runner = None
             self._pool_traced = False
             self._pool_premap = None
+            event_log().emit("engine.pool.retire", workers=self.workers)
         self._unlink_shm()
 
     def _unlink_shm(self) -> None:
@@ -268,6 +275,11 @@ class Scheduler:
             self._pool_runner = None
             self._pool_traced = False
             self._pool_premap = None
+            try:
+                event_log().emit("engine.pool.close",
+                                 workers=self.workers)
+            except Exception:
+                pass  # close() may run during interpreter teardown
         self._unlink_shm()
 
     def __del__(self) -> None:  # best-effort cleanup

@@ -533,6 +533,15 @@ class SegmentedIndex:
             except FileNotFoundError:
                 pass
         kernel_metrics().counter("index.compactions").inc()
+        from repro.obs.log import event_log
+
+        event_log().emit(
+            "index.compact", directory=self.directory,
+            segments_merged=before_segments,
+            tombstones_dropped=before_tombstones,
+            texts=summary["texts"], bytes=summary["bytes"],
+            generation=self.generation,
+        )
         return {
             "segments_merged": before_segments,
             "tombstones_dropped": before_tombstones,
@@ -561,6 +570,13 @@ class SegmentedIndex:
         self._refcounts = None
         for segment in old_segments:
             segment.close()
+        from repro.obs.log import event_log
+
+        event_log().emit(
+            "index.refresh", directory=self.directory,
+            generation=self.generation,
+            segments=len(self._segments),
+        )
         return True
 
     # ------------------------------------------------------------------

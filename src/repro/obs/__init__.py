@@ -39,6 +39,7 @@ from repro.obs.trace import (
     PHASES,
     SpanRecord,
     Tracer,
+    phase_durations,
 )
 from repro.obs.export import (
     render_span_tree,
@@ -46,12 +47,28 @@ from repro.obs.export import (
     to_prometheus,
     validate_chrome_trace,
 )
+from repro.obs.log import (
+    EventLog,
+    configure_event_log,
+    event_log,
+)
+from repro.obs.flight import (
+    FlightRecorder,
+    QueryRecord,
+    spans_to_dicts,
+)
+from repro.obs.profile import (
+    SamplingProfiler,
+    profile_for,
+    set_process_role,
+)
 
 __all__ = [
     "Tracer",
     "SpanRecord",
     "NULL_TRACER",
     "PHASES",
+    "phase_durations",
     "Metrics",
     "Counter",
     "Gauge",
@@ -62,4 +79,13 @@ __all__ = [
     "render_span_tree",
     "to_prometheus",
     "validate_chrome_trace",
+    "EventLog",
+    "event_log",
+    "configure_event_log",
+    "FlightRecorder",
+    "QueryRecord",
+    "spans_to_dicts",
+    "SamplingProfiler",
+    "profile_for",
+    "set_process_role",
 ]

@@ -177,6 +177,16 @@ def _prom_name(name: str) -> str:
     return sanitized
 
 
+def _prom_label_value(value: object) -> str:
+    """A label value escaped per the text exposition format: backslash,
+    double quote and newline are the three characters that must be
+    escaped inside ``label="..."``."""
+    return (str(value)
+            .replace("\\", r"\\")
+            .replace('"', r"\"")
+            .replace("\n", r"\n"))
+
+
 def _prom_labels(labels: Dict[str, object],
                  extra: Optional[Dict[str, object]] = None) -> str:
     merged = dict(labels)
@@ -185,7 +195,7 @@ def _prom_labels(labels: Dict[str, object],
     if not merged:
         return ""
     rendered = ",".join(
-        f'{_prom_name(str(key))}="{merged[key]}"'
+        f'{_prom_name(str(key))}="{_prom_label_value(merged[key])}"'
         for key in sorted(merged)
     )
     return f"{{{rendered}}}"

@@ -159,8 +159,16 @@ class Histogram:
         return self.sum / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> float:
-        """The upper bound of the bucket holding the ``q``-quantile
-        (``inf`` when it falls in the overflow bucket)."""
+        """The upper bound of the bucket holding the ``q``-quantile.
+
+        Always finite: an empty histogram reports ``0.0``, ``q=0``
+        reports the first *occupied* bucket's bound (the smallest
+        bound any observation could sit under, never an empty leading
+        bucket), and a quantile landing in the ``+Inf`` overflow
+        bucket is clamped to the largest finite bound — a conservative
+        *lower* estimate, but one that keeps p99 dashboards plottable
+        instead of propagating ``inf`` through ``tenant_stats()``.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be within [0, 1]")
         if not self.count:
@@ -169,10 +177,10 @@ class Histogram:
         cumulative = 0
         for index, count in enumerate(self.counts):
             cumulative += count
-            if cumulative >= target:
+            if cumulative >= target and cumulative > 0:
                 return (self.buckets[index] if index < len(self.buckets)
-                        else float("inf"))
-        return float("inf")
+                        else self.buckets[-1])
+        return self.buckets[-1]
 
     def _merge(self, other: "Histogram") -> None:
         if other.buckets != self.buckets:

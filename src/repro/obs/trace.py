@@ -99,6 +99,33 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+def phase_durations(records: Sequence[SpanRecord]) -> Dict[str, float]:
+    """Total seconds per span name over an arbitrary record list.
+
+    The module-level form of :meth:`Tracer.phase_durations`, usable on
+    records that left their tracer (drained buffers, flight-recorder
+    snapshots).  Sums the *outermost* span of each name: a span nested
+    under a same-name ancestor (per-chunk worker ``evaluate`` spans
+    under the batch ``evaluate`` phase) is already covered by that
+    ancestor's duration and is excluded, so each phase total is
+    wall-clock time, not double-counted work.
+    """
+    by_id = {record.span_id: record for record in records}
+    totals: Dict[str, float] = {}
+    for record in records:
+        parent = by_id.get(record.parent_id)
+        shadowed = False
+        while parent is not None:
+            if parent.name == record.name:
+                shadowed = True
+                break
+            parent = by_id.get(parent.parent_id)
+        if not shadowed:
+            totals[record.name] = (totals.get(record.name, 0.0)
+                                   + record.duration)
+    return totals
+
+
 class _ActiveSpan:
     """A live span: context manager and attribute sink."""
 
@@ -267,27 +294,10 @@ class Tracer:
     def phase_durations(self) -> Dict[str, float]:
         """Total seconds per span name (the ``explain()`` rollup).
 
-        Sums the *outermost* span of each name: a span nested under an
-        ancestor of the same name (per-chunk worker ``evaluate`` spans
-        under the batch ``evaluate`` phase) is already covered by that
-        ancestor's duration and is excluded, so each phase total is
-        wall-clock time, not double-counted work.
+        See the module-level :func:`phase_durations` for the shadowing
+        semantics (same-name descendants are not double-counted).
         """
-        records = self.records()
-        by_id = {record.span_id: record for record in records}
-        totals: Dict[str, float] = {}
-        for record in records:
-            parent = by_id.get(record.parent_id)
-            shadowed = False
-            while parent is not None:
-                if parent.name == record.name:
-                    shadowed = True
-                    break
-                parent = by_id.get(parent.parent_id)
-            if not shadowed:
-                totals[record.name] = (totals.get(record.name, 0.0)
-                                       + record.duration)
-        return totals
+        return phase_durations(self.records())
 
     def to_chrome_trace(self) -> Dict[str, object]:
         """The trace as a Chrome trace-event JSON object (see

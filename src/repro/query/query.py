@@ -45,7 +45,7 @@ class Query:
 
     __slots__ = ("_spanner", "_splitters", "_method", "_workers",
                  "_batch_size", "_chunk_cache_limit", "_engine",
-                 "_engine_explicit", "_index", "_tracer")
+                 "_engine_explicit", "_index", "_tracer", "_flight")
 
     def __init__(self, spanner: object, **settings: object) -> None:
         if not isinstance(spanner, Spanner):
@@ -68,6 +68,9 @@ class Query:
         object.__setattr__(self, "_index", settings.get("index"))
         # None = untraced; a repro.obs.Tracer = collect phase spans.
         object.__setattr__(self, "_tracer", settings.get("tracer"))
+        # None = no flight recording; a repro.obs.FlightRecorder =
+        # the service built by .serve() records completed queries.
+        object.__setattr__(self, "_flight", settings.get("flight"))
 
     def __setattr__(self, attribute: str, value: object) -> None:
         raise AttributeError("Query is immutable; chain methods instead")
@@ -85,6 +88,7 @@ class Query:
             "engine_explicit": self._engine_explicit,
             "index": self._index,
             "tracer": self._tracer,
+            "flight": self._flight,
         }
         settings.update(overrides)
         return Query(self._spanner, **settings)
@@ -202,6 +206,34 @@ class Query:
                 f"for a fresh one), got {type(tracer).__name__}"
             )
         return self._reconfigure(tracer=tracer)
+
+    def recorded(self, capacity: int = 256,
+                 slow_ms: Optional[float] = None,
+                 keep_slow: int = 64,
+                 capture_spans: bool = True) -> "Query":
+        """Attach a query flight recorder to the service this chain
+        will build (:meth:`serve`).
+
+        The service then retains the last ``capacity`` completed
+        queries as :class:`repro.obs.flight.QueryRecord` objects —
+        reachable fluently as ``result.record`` on every
+        :class:`repro.serve.ServiceResult` and live over HTTP at
+        ``GET /debug/queries`` — and keeps queries slower than
+        ``slow_ms`` milliseconds (plus every deadline miss) in a
+        separate slow-query log with their full span tree and explain
+        payload.  ``capture_spans=False`` records timings and counters
+        without enabling tracing (the minimum-overhead mode the CI
+        A/B gate measures).
+        """
+        from repro.obs.flight import FlightRecorder
+
+        return self._evolve(flight=FlightRecorder(
+            capacity=capacity,
+            slow_threshold=(slow_ms / 1000.0
+                            if slow_ms is not None else None),
+            keep_slow=keep_slow,
+            capture_spans=capture_spans,
+        ))
 
     def using(self, engine) -> "Query":
         """Execute on an existing :class:`repro.engine.
@@ -338,6 +370,7 @@ class Query:
             max_queue=max_queue,
             default_deadline=default_deadline,
             name=name or self._spanner.name or "service",
+            flight=self._flight,
         )
 
     def on(self, document: str) -> Set[SpanTuple]:

@@ -89,6 +89,9 @@ _WORKER_METRICS = None
 def _init_worker(spanner: SpannerLike) -> None:
     global _WORKER_SPANNER
     _WORKER_SPANNER = spanner
+    from repro.obs.profile import set_process_role
+
+    set_process_role("pool-worker")
 
 
 def _init_worker_shm(segment_name: str) -> None:
@@ -102,8 +105,10 @@ def _init_worker_shm(segment_name: str) -> None:
     """
     global _WORKER_SPANNER
     from repro.automata import shm
+    from repro.obs.profile import set_process_role
 
     _WORKER_SPANNER = shm.attach(segment_name)
+    set_process_role("pool-worker")
 
 
 def _worker_shm_status(_task: object = None) -> Tuple[int, int]:

@@ -2,7 +2,7 @@
 
 Deliberately minimal — :mod:`asyncio.start_server` plus hand-rolled
 HTTP/1.1 parsing, no third-party dependency — because the protocol
-surface is three routes:
+surface is small:
 
 * ``POST /extract`` — body ``{"texts": [...]}`` or ``{"documents":
   {id: text}}``, optional ``"tenant"``, ``"deadline_ms"``, and (when
@@ -13,21 +13,36 @@ surface is three routes:
 * ``GET /metrics`` — Prometheus text exposition (service + engine +
   kernel registries, tenant labels included).
 * ``GET /healthz`` — liveness.
+* ``GET /debug/queries[?limit=N]`` — flight-recorder summaries of the
+  last N completed queries; ``GET /debug/queries/<id>`` — one query's
+  full record, span tree and explain payload included when the slow
+  log kept them.
+* ``GET /debug/slow`` — the slow-query log, full records.
+* ``GET /debug/inflight`` — dispatcher queue depth, the running
+  query, per-tenant admission counters.
+* ``GET /debug/profile?seconds=S&hz=H`` — run the sampling profiler
+  for S seconds (clamped) and return folded stacks per thread role.
 
 Start it from Python (:func:`serve_http`) or from the CLI::
 
     python -m repro serve --pattern '...' --alphabet 'ab .' \
-        --splitters tokens --port 8080
+        --splitters tokens --port 8080 \
+        --log events.jsonl --flight 256 --slow-ms 100
 
 Error mapping is part of the contract: admission and deadline errors
 arrive as typed JSON (``{"error": "overloaded" | "deadline_exceeded",
 ...}``) so load-shedding clients can react without string matching.
+**Every** response carries an ``X-Repro-Request-Id`` header (echoed
+in JSON error bodies as ``"request_id"``); the same id names the
+query in the flight recorder and the structured event log, so a 429
+or 504 seen client-side joins directly against the server's records.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import urllib.parse
 from typing import Dict, Optional, Tuple
 
 from repro.errors import (
@@ -36,38 +51,58 @@ from repro.errors import (
     ServiceClosedError,
     ServiceOverloadedError,
 )
+from repro.obs.log import event_log
 
-from repro.serve.service import ExtractionService, ServiceResult
+from repro.serve.service import (
+    ExtractionService,
+    ServiceResult,
+    _new_query_id,
+)
 
 #: Request bodies above this size are rejected with 413 (the service
 #: is an extraction endpoint, not a bulk-ingest channel).
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
+#: ``/debug/profile`` bounds: the profiler blocks a worker thread for
+#: the requested window, so the window is clamped server-side.
+MAX_PROFILE_SECONDS = 10.0
+DEFAULT_PROFILE_SECONDS = 1.0
+
 
 def _json_response(status: int, payload: Dict[str, object],
-                   reason: str = "") -> bytes:
+                   reason: str = "",
+                   request_id: Optional[str] = None) -> bytes:
+    if request_id is not None and status >= 400:
+        payload = dict(payload)
+        payload.setdefault("request_id", request_id)
     body = json.dumps(payload, ensure_ascii=False).encode("utf-8")
     reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                405: "Method Not Allowed", 413: "Payload Too Large",
                429: "Too Many Requests", 500: "Internal Server Error",
                503: "Service Unavailable", 504: "Gateway Timeout"}
+    request_header = (f"X-Repro-Request-Id: {request_id}\r\n"
+                      if request_id is not None else "")
     head = (
         f"HTTP/1.1 {status} {reason or reasons.get(status, 'OK')}\r\n"
         f"Content-Type: application/json; charset=utf-8\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{request_header}"
         f"Connection: close\r\n\r\n"
     )
     return head.encode("ascii") + body
 
 
 def _text_response(status: int, text: str,
-                   content_type: str = "text/plain; version=0.0.4") \
-        -> bytes:
+                   content_type: str = "text/plain; version=0.0.4",
+                   request_id: Optional[str] = None) -> bytes:
     body = text.encode("utf-8")
+    request_header = (f"X-Repro-Request-Id: {request_id}\r\n"
+                      if request_id is not None else "")
     head = (
         f"HTTP/1.1 {status} OK\r\n"
         f"Content-Type: {content_type}; charset=utf-8\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{request_header}"
         f"Connection: close\r\n\r\n"
     )
     return head.encode("ascii") + body
@@ -106,6 +141,11 @@ class ServiceHTTPServer:
     request body to an engine program, enabling ad-hoc programs over
     the same resident engine (they share its plan cache); without it,
     requests run the service's default program only.
+
+    Every connection is assigned a request id up front; it rides the
+    ``X-Repro-Request-Id`` response header, JSON error bodies, the
+    event log's ``http.error`` events, and — for ``/extract`` — the
+    flight recorder (the id *is* the query id).
     """
 
     def __init__(self, service: ExtractionService,
@@ -139,35 +179,129 @@ class ServiceHTTPServer:
 
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
+        request_id = _new_query_id()
         try:
-            response = await self._respond(reader)
+            response = await self._respond(reader, request_id)
         except OverflowError:
-            response = _json_response(413, {"error": "body_too_large"})
+            response = self._error(413, {"error": "body_too_large"},
+                                   request_id)
         except Exception as error:  # malformed request; never crash
-            response = _json_response(
-                400, {"error": "bad_request", "detail": str(error)})
+            response = self._error(
+                400, {"error": "bad_request", "detail": str(error)},
+                request_id)
         try:
             writer.write(response)
             await writer.drain()
         finally:
             writer.close()
 
-    async def _respond(self, reader: asyncio.StreamReader) -> bytes:
+    def _error(self, status: int, payload: Dict[str, object],
+               request_id: str,
+               tenant: Optional[str] = None) -> bytes:
+        """An error response, logged to the event log first so the
+        server-side record carries the same id the client sees."""
+        event_log().emit(
+            "http.error", level="warning", tenant=tenant,
+            request_id=request_id, status=status,
+            error=payload.get("error"),
+        )
+        return _json_response(status, payload, request_id=request_id)
+
+    async def _respond(self, reader: asyncio.StreamReader,
+                       request_id: str) -> bytes:
         method, path, body = await self._read_request(reader)
+        path, _, query_string = path.partition("?")
+        params = {
+            key: values[-1] for key, values in
+            urllib.parse.parse_qs(query_string).items()
+        }
         if path == "/healthz":
-            return _json_response(200, {"status": "ok"})
+            return _json_response(200, {"status": "ok"},
+                                  request_id=request_id)
         if path == "/metrics":
-            return _text_response(200, self.service.to_prometheus())
+            return _text_response(200, self.service.to_prometheus(),
+                                  request_id=request_id)
+        if path.startswith("/debug/"):
+            return await self._debug(method, path, params, request_id)
         if path != "/extract":
-            return _json_response(404, {"error": "not_found",
-                                        "path": path})
+            return self._error(404, {"error": "not_found",
+                                     "path": path}, request_id)
         if method != "POST":
-            return _json_response(405, {"error": "method_not_allowed"})
+            return self._error(405, {"error": "method_not_allowed"},
+                               request_id)
         try:
             request = json.loads(body.decode("utf-8") or "{}")
         except ValueError:
-            return _json_response(400, {"error": "invalid_json"})
-        return await self._extract(request)
+            return self._error(400, {"error": "invalid_json"},
+                               request_id)
+        return await self._extract(request, request_id)
+
+    # -- the /debug routes ---------------------------------------------
+
+    async def _debug(self, method: str, path: str,
+                     params: Dict[str, str], request_id: str) -> bytes:
+        if method != "GET":
+            return self._error(405, {"error": "method_not_allowed"},
+                               request_id)
+        service = self.service
+        try:
+            limit = int(params["limit"]) if "limit" in params else None
+        except ValueError:
+            return self._error(400, {"error": "bad_request",
+                                     "detail": "limit must be an int"},
+                               request_id)
+        if path == "/debug/queries":
+            return _json_response(
+                200, {"queries": service.flight_records(limit),
+                      "recording": service.flight is not None},
+                request_id=request_id)
+        if path.startswith("/debug/queries/"):
+            query_id = path[len("/debug/queries/"):]
+            record = service.flight_record(query_id)
+            if record is None:
+                return self._error(
+                    404, {"error": "unknown_query",
+                          "query_id": query_id}, request_id)
+            return _json_response(200, record, request_id=request_id)
+        if path == "/debug/slow":
+            return _json_response(
+                200, {"slow": service.slow_queries(limit),
+                      "recording": service.flight is not None},
+                request_id=request_id)
+        if path == "/debug/inflight":
+            return _json_response(200, service.inflight(),
+                                  request_id=request_id)
+        if path == "/debug/profile":
+            return await self._profile(params, request_id)
+        return self._error(404, {"error": "not_found", "path": path},
+                           request_id)
+
+    async def _profile(self, params: Dict[str, str],
+                       request_id: str) -> bytes:
+        from repro.obs.profile import profile_for
+
+        try:
+            seconds = float(params.get("seconds",
+                                       DEFAULT_PROFILE_SECONDS))
+            hz = float(params.get("hz", 97.0))
+        except ValueError:
+            return self._error(
+                400, {"error": "bad_request",
+                      "detail": "seconds/hz must be numbers"},
+                request_id)
+        if seconds <= 0 or hz <= 0:
+            return self._error(
+                400, {"error": "bad_request",
+                      "detail": "seconds and hz must be positive"},
+                request_id)
+        seconds = min(seconds, MAX_PROFILE_SECONDS)
+        # The profiler blocks for the whole window — run it off the
+        # event loop so other requests keep being served meanwhile.
+        profiler = await asyncio.to_thread(
+            profile_for, seconds, hz, self.service.current_query_id)
+        payload = profiler.snapshot()
+        payload["seconds"] = seconds
+        return _json_response(200, payload, request_id=request_id)
 
     # -- the /extract route --------------------------------------------
 
@@ -192,7 +326,8 @@ class ServiceHTTPServer:
         return self.query_factory(str(pattern),
                                   request.get("alphabet"))
 
-    async def _extract(self, request: Dict[str, object]) -> bytes:
+    async def _extract(self, request: Dict[str, object],
+                       request_id: str) -> bytes:
         try:
             corpus = self._corpus_of(request)
             program = self._program_of(request)
@@ -201,26 +336,32 @@ class ServiceHTTPServer:
                         if deadline_ms is not None else None)
             tenant = str(request.get("tenant", "default"))
         except (TypeError, ValueError) as error:
-            return _json_response(400, {"error": "bad_request",
-                                        "detail": str(error)})
+            return self._error(400, {"error": "bad_request",
+                                     "detail": str(error)}, request_id)
         try:
             result = await self.service.extract_async(
-                corpus, program, tenant=tenant, deadline=deadline)
+                corpus, program, tenant=tenant, deadline=deadline,
+                query_id=request_id)
         except ServiceOverloadedError as error:
-            return _json_response(
+            return self._error(
                 429, {"error": "overloaded",
-                      "capacity": error.capacity, "tenant": tenant})
+                      "capacity": error.capacity, "tenant": tenant},
+                request_id, tenant=tenant)
         except DeadlineExceededError as error:
-            return _json_response(
+            return self._error(
                 504, {"error": "deadline_exceeded", "tenant": tenant,
                       "elapsed_seconds": error.elapsed,
-                      "budget_seconds": error.budget})
+                      "budget_seconds": error.budget},
+                request_id, tenant=tenant)
         except ServiceClosedError:
-            return _json_response(503, {"error": "closed"})
+            return self._error(503, {"error": "closed"}, request_id,
+                               tenant=tenant)
         except (ReproError, ValueError) as error:
-            return _json_response(400, {"error": "bad_request",
-                                        "detail": str(error)})
-        return _json_response(200, _result_payload(result))
+            return self._error(400, {"error": "bad_request",
+                                     "detail": str(error)}, request_id,
+                               tenant=tenant)
+        return _json_response(200, _result_payload(result),
+                              request_id=request_id)
 
     # -- lifecycle ------------------------------------------------------
 

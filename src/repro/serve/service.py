@@ -41,20 +41,33 @@ stdlib HTTP/JSON endpoint on top lives in :mod:`repro.serve.http`
 
 from __future__ import annotations
 
+import itertools
+import os
 import queue
 import threading
 import time
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.core.spans import SpanTuple
 from repro.engine.deadline import Deadline, as_deadline
 from repro.errors import ServiceClosedError, ServiceOverloadedError
-from repro.obs.metrics import Metrics
+from repro.obs.flight import FlightRecorder, QueryRecord
+from repro.obs.log import event_log
+from repro.obs.metrics import Counter, Metrics
 
 #: Queue sentinel telling the dispatcher thread to exit.
 _SHUTDOWN = object()
+
+#: Process-wide query-id sequence (ids stay unique across services).
+_QUERY_IDS = itertools.count(1)
+
+
+def _new_query_id() -> str:
+    """A fresh query id: short, sortable, unique within this process
+    and distinguishable across processes (the pid is embedded)."""
+    return f"q-{os.getpid():x}-{next(_QUERY_IDS):06d}"
 
 
 @dataclass
@@ -73,6 +86,14 @@ class ServiceResult:
     queue_seconds: float
     run_seconds: float
     program: str = "query"
+    #: The flight-recorder record of this query (id, per-phase
+    #: durations, counters, slow flag) when the service carries a
+    #: :class:`repro.obs.flight.FlightRecorder`; ``None`` otherwise.
+    record: Optional[QueryRecord] = None
+
+    @property
+    def query_id(self) -> Optional[str]:
+        return self.record.query_id if self.record is not None else None
 
     @property
     def total_tuples(self) -> int:
@@ -94,6 +115,7 @@ class _Job:
     tenant: str
     deadline: Deadline
     future: "Future[ServiceResult]"
+    query_id: str = field(default_factory=_new_query_id)
     enqueued: float = field(default_factory=time.monotonic)
 
 
@@ -145,6 +167,7 @@ class ExtractionService:
         max_queue: int = 64,
         default_deadline: Optional[float] = None,
         name: str = "service",
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be positive")
@@ -160,6 +183,22 @@ class ExtractionService:
         metrics = engine.metrics
         self._queries = metrics.counter
         self._queue_depth = metrics.gauge("service.queue_depth")
+        #: The flight recorder retaining completed-query records
+        #: (``None`` = recording off).  A recorder that wants span
+        #: trees turns on engine-wide tracing; the dispatcher then
+        #: *drains* the tracer per query, so each record gets exactly
+        #: its own spans and the span buffer never grows unboundedly
+        #: on a long-lived service.
+        self.flight = flight
+        if (flight is not None and flight.capture_spans
+                and not engine.tracer.enabled):
+            engine.enable_tracing()
+        if engine.tracer.enabled:
+            event_log().bind_tracer(engine.tracer)
+        #: The query currently executing on the dispatcher thread, as
+        #: an immutable summary dict (atomic assignment: readable from
+        #: any thread without a lock), or ``None`` when idle.
+        self._running: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -178,6 +217,8 @@ class ExtractionService:
                     daemon=True,
                 )
                 self._dispatcher.start()
+                event_log().emit("service.start", service=self.name,
+                                 max_queue=self.max_queue)
         return self
 
     def close(self, drain: bool = True) -> None:
@@ -208,6 +249,8 @@ class ExtractionService:
             self._queue.put(_SHUTDOWN)
             dispatcher.join()
         self._engine.close()
+        event_log().emit("service.close", service=self.name,
+                         drained=drain)
 
     def __enter__(self) -> "ExtractionService":
         return self.start()
@@ -229,6 +272,7 @@ class ExtractionService:
         program: object = None,
         tenant: str = "default",
         deadline: object = None,
+        query_id: Optional[str] = None,
     ) -> "Future[ServiceResult]":
         """Admit one query; returns a future resolving to a
         :class:`ServiceResult`.
@@ -241,10 +285,20 @@ class ExtractionService:
         budget too.  Raises :class:`ServiceOverloadedError` when the
         admission queue is full and :class:`ServiceClosedError` after
         :meth:`close`; both are synchronous, before anything queues.
+
+        ``query_id`` names the query in the flight recorder and event
+        log (generated when omitted); the HTTP layer passes its
+        per-request id here, so ``X-Repro-Request-Id`` and
+        ``GET /debug/queries/<id>`` refer to the same record.
         """
+        if query_id is None:
+            query_id = _new_query_id()
         if self._closed:
             self._count("service.rejections", tenant,
                         reason="closed").inc()
+            event_log().emit("service.reject", level="warning",
+                             tenant=tenant, query_id=query_id,
+                             reason="closed")
             raise ServiceClosedError()
         program = program if program is not None else self._default_program
         if program is None:
@@ -260,27 +314,40 @@ class ExtractionService:
             tenant=tenant,
             deadline=as_deadline(deadline),
             future=Future(),
+            query_id=query_id,
         )
         try:
             self._queue.put_nowait(job)
         except queue.Full:
             self._count("service.rejections", tenant,
                         reason="overloaded").inc()
+            event_log().emit("service.reject", level="warning",
+                             tenant=tenant, query_id=query_id,
+                             reason="overloaded",
+                             max_queue=self.max_queue)
             raise ServiceOverloadedError(self.max_queue) from None
         self._queue_depth.set(self._queue.qsize())
+        event_log().emit("service.admit", tenant=tenant,
+                         query_id=query_id,
+                         program=getattr(job.program, "name", "query"),
+                         queue_depth=self._queue.qsize())
         if self._dispatcher is None:
             self.start()
         return job.future
 
     def extract(self, corpus, program: object = None,
                 tenant: str = "default",
-                deadline: object = None) -> ServiceResult:
+                deadline: object = None,
+                query_id: Optional[str] = None) -> ServiceResult:
         """Submit and block for the result (the synchronous shortcut)."""
-        return self.submit(corpus, program, tenant, deadline).result()
+        return self.submit(corpus, program, tenant, deadline,
+                           query_id=query_id).result()
 
     async def extract_async(self, corpus, program: object = None,
                             tenant: str = "default",
-                            deadline: object = None) -> ServiceResult:
+                            deadline: object = None,
+                            query_id: Optional[str] = None
+                            ) -> ServiceResult:
         """The asyncio front end: awaitable submission.
 
         Admission control still applies synchronously (an overloaded
@@ -289,7 +356,8 @@ class ExtractionService:
         """
         import asyncio
 
-        future = self.submit(corpus, program, tenant, deadline)
+        future = self.submit(corpus, program, tenant, deadline,
+                             query_id=query_id)
         return await asyncio.wrap_future(future)
 
     def reopen_index(self, path: Optional[str] = None) -> "Future[object]":
@@ -323,17 +391,26 @@ class ExtractionService:
                 engine.attach_index(open_index(path))
                 if previous is not None and hasattr(previous, "close"):
                     previous.close()
-                return {"action": "attached", "path": path,
-                        "format": getattr(engine.index, "format",
-                                          "unknown")}
-            index = engine.index
-            if index is None or not hasattr(index, "refresh"):
-                return {"action": "noop",
-                        "reason": "no refreshable index attached"}
-            changed = index.refresh()
-            return {"action": "refreshed", "changed": changed,
-                    "generation": getattr(index, "generation", None),
-                    "segments": getattr(index, "segment_count", None)}
+                report: Dict[str, object] = {
+                    "action": "attached", "path": path,
+                    "format": getattr(engine.index, "format", "unknown"),
+                }
+            else:
+                index = engine.index
+                if index is None or not hasattr(index, "refresh"):
+                    report = {"action": "noop",
+                              "reason": "no refreshable index attached"}
+                else:
+                    changed = index.refresh()
+                    report = {
+                        "action": "refreshed", "changed": changed,
+                        "generation": getattr(index, "generation", None),
+                        "segments": getattr(index, "segment_count",
+                                            None),
+                    }
+            event_log().emit("service.reopen_index", service=self.name,
+                             **report)
+            return report
 
         job = _Control(operation=_reopen, future=Future())
         try:
@@ -376,7 +453,26 @@ class ExtractionService:
         queue_wait = time.monotonic() - job.enqueued
         self._histogram("service.queue_wait_seconds", tenant) \
             .observe(queue_wait)
+        program_name = getattr(job.program, "name", "query")
+        self._running = {
+            "query_id": job.query_id,
+            "tenant": tenant,
+            "program": program_name,
+            "started": time.time(),
+            "deadline_remaining": job.deadline.remaining(),
+        }
+        tracer = self._engine.tracer
+        if tracer.enabled:
+            # Whatever is in the buffer predates this query (startup
+            # spans, spans of a run driven outside the service);
+            # dropping it here makes the post-run drain exactly this
+            # query's spans — and doubles as the retention policy that
+            # keeps a long-lived server's span buffer bounded.
+            tracer.drain()
+        stats_before = self._engine.stats()
         started = time.perf_counter()
+        error: Optional[BaseException] = None
+        result = None
         try:
             # Reject a dead-on-arrival budget before any engine work;
             # mid-run expiry surfaces from the engine's own batch-
@@ -384,32 +480,121 @@ class ExtractionService:
             job.deadline.check()
             result = self._engine.run(job.corpus, job.program,
                                       deadline=job.deadline)
-        except BaseException as error:
+        except BaseException as caught:
+            error = caught
+        run_seconds = time.perf_counter() - started
+        self._count("service.queries", tenant).inc()
+        self._histogram("service.latency_seconds", tenant) \
+            .observe(job.deadline.elapsed())
+        spans = tracer.drain() if tracer.enabled else []
+        self._running = None
+
+        if error is not None:
             from repro.errors import DeadlineExceededError
 
-            if isinstance(error, DeadlineExceededError):
+            missed = isinstance(error, DeadlineExceededError)
+            if missed:
                 self._count("service.deadline_misses", tenant).inc()
             self._count("service.errors", tenant,
                         kind=type(error).__name__).inc()
-            self._finish(job, started, tenant)
+            record = self._record(job, tenant, program_name, queue_wait,
+                                  run_seconds, stats_before, spans,
+                                  outcome=type(error).__name__,
+                                  detail=str(error))
+            event_log().emit(
+                "service.deadline_miss" if missed else "service.error",
+                level="warning" if missed else "error",
+                tenant=tenant, query_id=job.query_id,
+                program=program_name, error=type(error).__name__,
+                detail=str(error), queue_seconds=queue_wait,
+                run_seconds=run_seconds,
+                slow=record.slow if record is not None else False,
+            )
             job.future.set_exception(error)
             return
-        run_seconds = self._finish(job, started, tenant)
+
         self._count("service.tuples", tenant).inc(result.total_tuples())
+        record = self._record(job, tenant, program_name, queue_wait,
+                              run_seconds, stats_before, spans,
+                              outcome="ok", result=result)
+        event_log().emit(
+            "service.complete", tenant=tenant, query_id=job.query_id,
+            program=program_name, documents=len(result),
+            tuples=result.total_tuples(), queue_seconds=queue_wait,
+            run_seconds=run_seconds,
+            slow=record.slow if record is not None else False,
+        )
         job.future.set_result(ServiceResult(
             by_document=result.by_document,
             tenant=tenant,
             queue_seconds=queue_wait,
             run_seconds=run_seconds,
-            program=getattr(job.program, "name", "query"),
+            program=program_name,
+            record=record,
         ))
 
-    def _finish(self, job: _Job, started: float, tenant: str) -> float:
-        run_seconds = time.perf_counter() - started
-        self._count("service.queries", tenant).inc()
-        self._histogram("service.latency_seconds", tenant) \
-            .observe(job.deadline.elapsed())
-        return run_seconds
+    def _record(
+        self, job: _Job, tenant: str, program_name: str,
+        queue_wait: float, run_seconds: float, stats_before,
+        spans, outcome: str, detail: Optional[str] = None,
+        result=None,
+    ) -> Optional[QueryRecord]:
+        """Build and file this query's flight record (``None`` when
+        recording is off).  Runs on the dispatcher thread, after the
+        engine pass; the explain payload is resolved lazily and only
+        for queries the slow log keeps."""
+        if self.flight is None:
+            return None
+        delta = self._engine.stats().since(stats_before)
+        certified = result.plan if result is not None else None
+        if certified is None:
+            try:
+                # Cached: the run just certified this program (or died
+                # before certifying, in which case this fills the gap).
+                certified = self._engine.certify(job.program)
+            except Exception:
+                certified = None
+        explain = None
+        kernel_tier = None
+        if certified is not None:
+            plan_explain = certified.explain
+            prefilter_report = self._engine.prefilter_report
+            kernel_tier = plan_explain().get("kernel_tier")
+
+            def explain() -> Dict[str, object]:
+                return {"plan": plan_explain(),
+                        "index": prefilter_report(certified)}
+
+        record = QueryRecord(
+            query_id=job.query_id,
+            program=program_name,
+            fingerprint=self._fingerprint(job.program),
+            tenant=tenant,
+            outcome=outcome,
+            error=detail,
+            started=time.time() - queue_wait - run_seconds,
+            queue_seconds=queue_wait,
+            run_seconds=run_seconds,
+            documents=(len(result) if result is not None
+                       else delta.documents),
+            tuples=(result.total_tuples() if result is not None
+                    else delta.tuples_emitted),
+            deadline_budget=getattr(job.deadline, "_budget", None),
+            kernel_tier=kernel_tier,
+            counters=delta.snapshot(),
+        )
+        return self.flight.record(record, span_records=spans,
+                                  explain=explain)
+
+    @staticmethod
+    def _fingerprint(program) -> str:
+        fingerprint = getattr(program, "fingerprint", None)
+        if callable(fingerprint):
+            try:
+                return str(fingerprint())
+            except Exception:
+                pass
+        return f"id-{id(program):x}"
 
     def _count(self, name: str, tenant: str, **labels):
         return self._engine.metrics.counter(name, tenant=tenant, **labels)
@@ -457,6 +642,75 @@ class ExtractionService:
             "latency_p50": latency.quantile(0.5),
             "latency_p95": latency.quantile(0.95),
             "latency_p99": latency.quantile(0.99),
+        }
+
+    def current_query_id(self) -> Optional[str]:
+        """The id of the query executing right now (``None`` = idle).
+
+        Readable from any thread; this is what the sampling profiler's
+        ``current_query`` hook uses to attribute samples to flight
+        records.
+        """
+        running = self._running
+        return running["query_id"] if running is not None else None
+
+    def flight_records(self, limit: Optional[int] = None
+                       ) -> List[Dict[str, object]]:
+        """Summaries of the retained query records, most recent last
+        (the ``GET /debug/queries`` payload; ``[]`` when recording is
+        off)."""
+        if self.flight is None:
+            return []
+        return [record.to_dict() for record in self.flight.recent(limit)]
+
+    def flight_record(self, query_id: str
+                      ) -> Optional[Dict[str, object]]:
+        """One query's full record — span tree and explain payload
+        included when the slow log kept them (``GET
+        /debug/queries/<id>``)."""
+        if self.flight is None:
+            return None
+        record = self.flight.get(query_id)
+        return record.to_dict(full=True) if record is not None else None
+
+    def slow_queries(self, limit: Optional[int] = None
+                     ) -> List[Dict[str, object]]:
+        """Full records of the slow-query log, most recent last
+        (``GET /debug/slow``)."""
+        if self.flight is None:
+            return []
+        return [record.to_dict(full=True)
+                for record in self.flight.slow(limit)]
+
+    def inflight(self) -> Dict[str, object]:
+        """The live dispatcher view (``GET /debug/inflight``): queue
+        depth, the running query, per-tenant admission counters, and
+        the flight recorder's retention state."""
+        tenants: Dict[str, Dict[str, float]] = {}
+        rollup = {"service.queries": "queries",
+                  "service.rejections": "rejections",
+                  "service.deadline_misses": "deadline_misses",
+                  "service.errors": "errors"}
+        for instrument in self._engine.metrics.instruments():
+            field = rollup.get(getattr(instrument, "name", ""))
+            if field is None or not isinstance(instrument, Counter):
+                continue
+            tenant = instrument.labels.get("tenant")
+            if tenant is None:
+                continue
+            bucket = tenants.setdefault(
+                str(tenant), {"queries": 0, "rejections": 0,
+                              "deadline_misses": 0, "errors": 0})
+            bucket[field] += instrument.value
+        return {
+            "service": self.name,
+            "closed": self._closed,
+            "queue_depth": self._queue.qsize(),
+            "max_queue": self.max_queue,
+            "running": self._running,
+            "tenants": tenants,
+            "flight": (self.flight.describe()
+                       if self.flight is not None else None),
         }
 
     def to_prometheus(self) -> str:

@@ -5,6 +5,7 @@ including cross-process collection from pool workers."""
 
 import json
 import pickle
+import re
 import threading
 
 import pytest
@@ -502,3 +503,149 @@ class TestChunkLatencyCoverage:
             assert latency.sum >= 0.0
         finally:
             engine.close()
+
+
+# ----------------------------------------------------------------------
+# Histogram quantile edges  (satellite: p99 must stay finite)
+# ----------------------------------------------------------------------
+
+
+class TestHistogramQuantileEdges:
+    def _histogram(self, metrics=None):
+        metrics = metrics or Metrics()
+        return metrics.histogram("h", buckets=(0.1, 1.0))
+
+    def test_empty_histogram_is_zero_everywhere(self):
+        histogram = self._histogram()
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 0.0
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        histogram = self._histogram()
+        histogram.observe(50.0)          # beyond every bound
+        for q in (0.0, 0.5, 0.99, 1.0):
+            value = histogram.quantile(q)
+            assert value == 1.0          # finite: the last bound
+            assert value != float("inf")
+
+    def test_q0_returns_first_occupied_bucket(self):
+        histogram = self._histogram()
+        histogram.observe(0.5)           # lands in the 1.0 bucket
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(1.0) == 1.0
+
+    def test_below_first_bound_reports_first_bound(self):
+        histogram = self._histogram()
+        histogram.observe(0.01)
+        assert histogram.quantile(0.0) == 0.1
+        assert histogram.quantile(1.0) == 0.1
+
+    def test_mixed_population_percentiles(self):
+        histogram = self._histogram()
+        for _ in range(99):
+            histogram.observe(0.05)      # 0.1 bucket
+        histogram.observe(10.0)          # overflow
+        assert histogram.quantile(0.5) == 0.1
+        assert histogram.quantile(0.99) == 0.1
+        assert histogram.quantile(1.0) == 1.0  # clamped, not inf
+
+    def test_out_of_range_q_rejected(self):
+        histogram = self._histogram()
+        histogram.observe(0.05)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.1)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text-format conformance  (satellite)
+# ----------------------------------------------------------------------
+
+_PROM_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_PROM_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$")
+
+
+class TestPrometheusConformance:
+    """Pin ``to_prometheus`` to the text exposition format: legal
+    names, ``# TYPE`` before samples, cumulative monotone buckets,
+    ``+Inf`` == ``_count``, and escaped label values."""
+
+    def _registry(self):
+        metrics = Metrics()
+        metrics.counter("engine.chunks_total",
+                        tenant="acme").inc(4)
+        metrics.gauge("queue.depth").set(2)
+        histogram = metrics.histogram("engine.chunk_eval_seconds",
+                                      buckets=(0.1, 1.0))
+        histogram.observe(0.05)
+        histogram.observe(0.5)
+        histogram.observe(5.0)
+        return metrics
+
+    def test_every_line_parses(self):
+        text = to_prometheus(self._registry())
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, rest = line.partition("# TYPE ")
+                name, kind = rest.split(" ")
+                assert _PROM_NAME.match(name)
+                assert kind in ("counter", "gauge", "histogram")
+            else:
+                match = _PROM_SAMPLE.match(line)
+                assert match, f"unparseable sample line: {line!r}"
+                float(match.group("value"))  # numeric
+
+    def test_type_header_precedes_all_samples_of_a_family(self):
+        text = to_prometheus(self._registry())
+        seen_types = set()
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                seen_types.add(line.split(" ")[2])
+            else:
+                name = _PROM_SAMPLE.match(line).group("name")
+                base = re.sub(r"_(bucket|sum|count)$", "", name)
+                assert base in seen_types or name in seen_types
+
+    def test_histogram_buckets_cumulative_and_complete(self):
+        text = to_prometheus(self._registry())
+        buckets = []
+        count = None
+        for line in text.splitlines():
+            match = _PROM_SAMPLE.match(line) if not line.startswith("#") \
+                else None
+            if not match:
+                continue
+            if match.group("name") == "engine_chunk_eval_seconds_bucket":
+                buckets.append(line)
+            if match.group("name") == "engine_chunk_eval_seconds_count":
+                count = float(match.group("value"))
+        values = [float(_PROM_SAMPLE.match(b).group("value"))
+                  for b in buckets]
+        assert values == sorted(values)          # cumulative monotone
+        assert 'le="+Inf"' in buckets[-1]
+        assert values[-1] == count == 3
+        sum_line = next(line for line in text.splitlines()
+                        if line.startswith("engine_chunk_eval_seconds_sum"))
+        assert float(sum_line.split(" ")[1]) == pytest.approx(5.55)
+
+    def test_label_values_escaped(self):
+        metrics = Metrics()
+        metrics.counter("c", who='we"ird\\x\ny').inc()
+        text = to_prometheus(metrics)
+        assert r'who="we\"ird\\x\ny"' in text
+        # Round-trip: unescaping restores the original value.
+        raw = re.search(r'who="((?:[^"\\]|\\.)*)"', text).group(1)
+        unescaped = (raw.replace(r"\n", "\n").replace(r"\"", '"')
+                     .replace(r"\\", "\\"))
+        assert unescaped == 'we"ird\\x\ny'
+
+    def test_dotted_names_sanitized(self):
+        metrics = Metrics()
+        metrics.counter("service.queries").inc()
+        text = to_prometheus(metrics)
+        assert "service_queries 1" in text
+        assert "service.queries" not in text
